@@ -1,0 +1,67 @@
+// Extension — bufferbloat ablation on the access link.
+//
+// The paper's era is exactly when bufferbloat was characterized (the FCC
+// gateways it uses were also deployed for that work). With the simulator's
+// optional queueing model enabled, a saturated downlink inflates every
+// flow's RTT, re-throttling TCP-bound traffic. This harness quantifies the
+// effect on a BitTorrent-heavy household across service tiers.
+#include <array>
+#include <cstdio>
+#include <iostream>
+#include <numeric>
+
+#include "analysis/report.h"
+#include "core/rng.h"
+#include "netsim/fluid.h"
+#include "netsim/workload.h"
+#include "stats/quantile.h"
+
+int main() {
+  using namespace bblab;
+  auto& out = std::cout;
+  analysis::print_banner(out, "Extension — bufferbloat vs demand delivery");
+
+  const SimClock clock{2012};
+  const netsim::DiurnalModel diurnal{netsim::DiurnalParams{}, clock};
+  const netsim::WorkloadGenerator gen{diurnal};
+
+  out << "  tier       plain mean   bloat mean   plain p95    bloat p95\n";
+  std::array<char, 160> buf{};
+  for (const double tier : {2.0, 6.0, 16.0}) {
+    netsim::AccessLink link;
+    link.down = Rate::from_mbps(tier);
+    link.up = Rate::from_mbps(tier / 8);
+    link.rtt_ms = 50.0;
+    link.loss = 0.003;
+
+    netsim::WorkloadParams params;
+    params.intensity = 1.2;
+    params.heavy_intensity = 1.5;
+    params.bt_sessions_per_day = 3.0;  // regularly saturates the link
+
+    Rng rng{7};
+    const auto flows = gen.generate(params, link, 0.0, 2 * kDay, rng);
+    const netsim::FluidLinkSimulator plain{link};
+    const netsim::FluidLinkSimulator bloated{
+        link, netsim::TcpModel{},
+        netsim::FluidOptions{.bufferbloat = true, .buffer_ms = 300.0}};
+
+    const auto summarize = [](const netsim::BinnedUsage& u) {
+      std::vector<double> rates;
+      rates.reserve(u.bins());
+      for (std::size_t i = 0; i < u.bins(); ++i) rates.push_back(u.down_rate(i).mbps());
+      const double mean =
+          std::accumulate(rates.begin(), rates.end(), 0.0) / static_cast<double>(rates.size());
+      return std::pair{mean, stats::p95(rates)};
+    };
+    const auto [pm, pp] = summarize(plain.run(flows, 0.0, 2 * 2880, 30.0));
+    const auto [bm, bp] = summarize(bloated.run(flows, 0.0, 2 * 2880, 30.0));
+    std::snprintf(buf.data(), buf.size(),
+                  "  %5.1f Mbps  %7.3f Mbps  %7.3f Mbps  %7.3f Mbps  %7.3f Mbps\n",
+                  tier, pm, bm, pp, bp);
+    out << buf.data();
+  }
+  out << "  expectation: bloat re-throttles TCP-bound traffic on saturated\n"
+         "  low tiers (mean drops) while barely touching roomy links.\n";
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Figure 1 — CDFs of download capacity, latency, and packet loss across
+// all measured connections.
+//
+// Paper reference points (IMC'14, §2.2):
+//   capacity: median 7.4 Mbps, IQR 3.1-17.4 Mbps, ~10% below 1 Mbps,
+//             top 10% above 30 Mbps
+//   latency:  "typical" user ~100 ms to nearest NDT server, top 5% > 500 ms
+//   loss:     most users < 0.1%, ~14% above 1%, top 1% above 10%
+#include <iostream>
+
+#include "analysis/figures.h"
+#include "analysis/report.h"
+#include "bench_common.h"
+#include "stats/quantile.h"
+
+int main() {
+  using namespace bblab;
+  const auto& ds = bench::bench_dataset();
+  const auto fig = analysis::fig1_characteristics(ds);
+  auto& out = std::cout;
+
+  analysis::print_banner(out, "Figure 1 — broadband connection characteristics");
+
+  analysis::print_ecdf(out, "(a) download capacity [Mbps]", fig.capacity_mbps);
+  analysis::print_compare(out, "median capacity", "7.4 Mbps",
+                          analysis::num(fig.capacity_mbps.inverse(0.5)) + " Mbps");
+  analysis::print_compare(
+      out, "IQR", "3.1 - 17.4 Mbps",
+      analysis::num(fig.capacity_mbps.inverse(0.25)) + " - " +
+          analysis::num(fig.capacity_mbps.inverse(0.75)) + " Mbps");
+  analysis::print_compare(out, "share below 1 Mbps", "~10%",
+                          analysis::pct(fig.capacity_mbps(1.0)));
+  analysis::print_compare(out, "p90 capacity", ">30 Mbps",
+                          analysis::num(fig.capacity_mbps.inverse(0.90)) + " Mbps");
+
+  analysis::print_ecdf(out, "(b) latency [ms]", fig.latency_ms);
+  analysis::print_compare(out, "median RTT", "~100 ms",
+                          analysis::num(fig.latency_ms.inverse(0.5)) + " ms");
+  analysis::print_compare(out, "share above 500 ms", "~5%",
+                          analysis::pct(1.0 - fig.latency_ms(500.0)));
+
+  analysis::print_ecdf(out, "(c) packet loss [%]", fig.loss_pct);
+  analysis::print_compare(out, "share below 0.1%", "majority",
+                          analysis::pct(fig.loss_pct(0.1)));
+  analysis::print_compare(out, "share above 1%", "~14%",
+                          analysis::pct(1.0 - fig.loss_pct(1.0)));
+  analysis::print_compare(out, "share above 10%", "~1%",
+                          analysis::pct(1.0 - fig.loss_pct(10.0)));
+  return 0;
+}

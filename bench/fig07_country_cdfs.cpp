@@ -1,0 +1,41 @@
+// Figure 7 — download capacity and peak-utilization CDFs for the four
+// case-study markets.
+//
+// Paper reference points (§5):
+//   capacities ascend Botswana -> Saudi Arabia -> US -> Japan
+//   (BW clustered ~512 kbps, SA ~4 Mbps, US wide, JP 60% >= 25 Mbps)
+//   peak utilization appears in exactly the reverse order: BW highest
+//   (avg ~80%), then SA, then US (~52%), Japan lowest (~10%)
+#include <iostream>
+
+#include "analysis/figures.h"
+#include "analysis/report.h"
+#include "bench_common.h"
+
+int main() {
+  using namespace bblab;
+  const auto& ds = bench::bench_dataset();
+  const std::vector<std::string> countries{"BW", "SA", "US", "JP"};
+  const auto fig = analysis::fig7_country_cdfs(ds, countries);
+  auto& out = std::cout;
+
+  analysis::print_banner(out, "Figure 7 — capacity and utilization by country");
+  for (const auto& c : fig) {
+    analysis::print_ecdf(out, "(a) capacity [Mbps], " + c.code, c.capacity_mbps);
+  }
+  for (const auto& c : fig) {
+    analysis::print_ecdf(out, "(b) p95 utilization, " + c.code, c.peak_utilization);
+  }
+
+  std::string caps;
+  std::string utils;
+  for (const auto& c : fig) {
+    caps += c.code + "=" + analysis::num(c.capacity_mbps.inverse(0.5)) + " ";
+    utils += c.code + "=" + analysis::pct(c.peak_utilization.inverse(0.5)) + " ";
+  }
+  analysis::print_compare(out, "median capacity ordering",
+                          "BW < SA < US < JP (0.5 / 4.2 / 17.6 / 29 Mbps)", caps);
+  analysis::print_compare(out, "median p95 utilization ordering",
+                          "exactly reversed: BW > SA > US > JP", utils);
+  return 0;
+}

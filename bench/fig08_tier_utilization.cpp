@@ -1,0 +1,58 @@
+// Figure 8 — p95 link utilization CDFs by service tier within each
+// case-study country.
+//
+// Paper reference points (§5):
+//   US: faster tiers use ever-smaller fractions of the link at peak
+//   Botswana <1 Mbps: avg p95 utilization ~80% (vs ~52% US overall)
+//   Saudi Arabia 1-8 Mbps: median utilization ~60% vs ~43% same tier US
+//   Japan >32 Mbps: heavily under-utilized, avg ~10%
+#include <iostream>
+
+#include "analysis/figures.h"
+#include "analysis/report.h"
+#include "bench_common.h"
+#include "stats/descriptive.h"
+
+int main() {
+  using namespace bblab;
+  const auto& ds = bench::bench_dataset();
+  const std::vector<std::string> countries{"US", "BW", "SA", "JP"};
+  const auto fig = analysis::fig8_tier_utilization(ds, countries);
+  auto& out = std::cout;
+
+  analysis::print_banner(out, "Figure 8 — p95 utilization by tier and country");
+  for (const auto& c : fig) {
+    out << "  [" << c.code << "]\n";
+    for (const auto& [tier, ecdf] : c.tiers) {
+      analysis::print_ecdf(out, tier, ecdf);
+    }
+  }
+
+  const auto median_of = [&](const std::string& code,
+                             const std::string& tier) -> double {
+    for (const auto& c : fig) {
+      if (c.code != code) continue;
+      const auto it = c.tiers.find(tier);
+      if (it != c.tiers.end()) return it->second.inverse(0.5);
+    }
+    return -1.0;
+  };
+
+  analysis::print_compare(out, "US utilization falls with tier",
+                          "monotone decline across tiers",
+                          "<1: " + analysis::pct(median_of("US", "<1 Mbps")) +
+                              ", 1-8: " + analysis::pct(median_of("US", "1-8 Mbps")) +
+                              ", 8-16: " + analysis::pct(median_of("US", "8-16 Mbps")) +
+                              ", >32: " + analysis::pct(median_of("US", ">32 Mbps")));
+  analysis::print_compare(out, "BW <1 Mbps vs US <1 Mbps (median p95 util)",
+                          "~80% vs lower in the US",
+                          analysis::pct(median_of("BW", "<1 Mbps")) + " vs " +
+                              analysis::pct(median_of("US", "<1 Mbps")));
+  analysis::print_compare(out, "SA 1-8 Mbps vs US 1-8 Mbps (median p95 util)",
+                          "60% vs 43%",
+                          analysis::pct(median_of("SA", "1-8 Mbps")) + " vs " +
+                              analysis::pct(median_of("US", "1-8 Mbps")));
+  analysis::print_compare(out, "JP >32 Mbps median p95 utilization", "~10%",
+                          analysis::pct(median_of("JP", ">32 Mbps")));
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Figure 9 — average p95 demand by country and service tier.
+//
+// Paper reference points (§5):
+//   BW <1 Mbps: 410 kbps vs US <1 Mbps: 286 kbps
+//   SA 1-8 Mbps ~37% above US 1-8 Mbps
+//   US demand increases tier over tier even as utilization falls
+//   US >32 Mbps about 830 kbps above JP >32 Mbps
+#include <array>
+#include <cstdio>
+#include <iostream>
+
+#include "analysis/figures.h"
+#include "analysis/report.h"
+#include "bench_common.h"
+
+int main() {
+  using namespace bblab;
+  const auto& ds = bench::bench_dataset();
+  const auto fig = analysis::fig9_tier_demand(ds, {"BW", "SA", "US", "JP"});
+  auto& out = std::cout;
+
+  analysis::print_banner(out, "Figure 9 — average p95 demand by country and tier");
+  std::array<char, 160> buf{};
+  for (const auto& bar : fig) {
+    std::snprintf(buf.data(), buf.size(), "  %-3s %-11s %8.4f Mbps ± %-7.4f (n=%zu)\n",
+                  bar.country.c_str(), bar.tier.c_str(), bar.peak_demand_mbps.mean,
+                  bar.peak_demand_mbps.half_width, bar.users);
+    out << buf.data();
+  }
+
+  const auto demand = [&](const std::string& country, const std::string& tier) {
+    for (const auto& bar : fig) {
+      if (bar.country == country && bar.tier == tier) return bar.peak_demand_mbps.mean;
+    }
+    return -1.0;
+  };
+
+  const double bw = demand("BW", "<1 Mbps");
+  const double us_low = demand("US", "<1 Mbps");
+  if (bw > 0 && us_low > 0) {
+    analysis::print_compare(out, "BW vs US, <1 Mbps tier", "410 vs 286 kbps (+43%)",
+                            analysis::num(bw * 1000) + " vs " +
+                                analysis::num(us_low * 1000) + " kbps (" +
+                                analysis::pct(bw / us_low - 1.0) + ")");
+  }
+  const double sa = demand("SA", "1-8 Mbps");
+  const double us_mid = demand("US", "1-8 Mbps");
+  if (sa > 0 && us_mid > 0) {
+    analysis::print_compare(out, "SA vs US, 1-8 Mbps tier", "+37% in Saudi Arabia",
+                            analysis::pct(sa / us_mid - 1.0));
+  }
+  const double us_top = demand("US", ">32 Mbps");
+  const double jp_top = demand("JP", ">32 Mbps");
+  if (us_top > 0 && jp_top > 0) {
+    analysis::print_compare(out, "US vs JP, >32 Mbps tier", "US ~830 kbps higher",
+                            "US " + analysis::num((us_top - jp_top) * 1000) +
+                                " kbps higher");
+  }
+  // US demand rises tier over tier.
+  bool monotone = true;
+  double prev = -1.0;
+  for (const auto* tier : {"<1 Mbps", "1-8 Mbps", "8-16 Mbps", "16-32 Mbps", ">32 Mbps"}) {
+    const double d = demand("US", tier);
+    if (d < 0) continue;
+    if (prev > 0 && d < prev) monotone = false;
+    prev = d;
+  }
+  analysis::print_compare(out, "US demand increases on each tier", "yes",
+                          monotone ? "yes" : "no");
+  return 0;
+}

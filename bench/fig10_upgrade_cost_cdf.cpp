@@ -1,0 +1,43 @@
+// Figure 10 — CDF of the monthly cost (USD PPP) of increasing capacity by
+// 1 Mbps across the world's broadband markets, plus the §6 correlation
+// statistics.
+//
+// Paper reference points (§6):
+//   66% of markets have price-capacity correlation r > 0.8; 81% have r > 0.4
+//   Japan / South Korea / Hong Kong below $0.10 per Mbps
+//   Canada / US slightly above $0.50
+//   Ghana / Uganda (Africa, Middle East) at the expensive end, some
+//   markets above $100 (Paraguay, Ivory Coast)
+//   developed countries mostly < $1; India & China < $1 despite developing
+#include <iostream>
+
+#include "analysis/figures.h"
+#include "analysis/report.h"
+#include "bench_common.h"
+
+int main() {
+  using namespace bblab;
+  const auto& ds = bench::bench_dataset();
+  const auto fig = analysis::fig10_upgrade_cost_cdf(ds);
+  auto& out = std::cout;
+
+  analysis::print_banner(out, "Figure 10 — cost of +1 Mbps across markets");
+  analysis::print_ecdf(out, "upgrade cost [$ PPP / Mbps / month]", fig.upgrade_cost);
+
+  analysis::print_compare(out, "markets with r > 0.8 / r > 0.4", "66% / 81%",
+                          analysis::pct(fig.share_strong_corr) + " / " +
+                              analysis::pct(fig.share_moderate_corr));
+
+  const auto example = [&](const std::string& code) {
+    const auto it = fig.examples.find(code);
+    return it != fig.examples.end() ? "$" + analysis::num(it->second) : "n/a";
+  };
+  analysis::print_compare(out, "Japan / South Korea", "< $0.10",
+                          example("JP") + " / " + example("KR"));
+  analysis::print_compare(out, "US / Canada", "~$0.50-1", example("US") + " / " + example("CA"));
+  analysis::print_compare(out, "Ghana / Uganda", ">> $10",
+                          example("GH") + " / " + example("UG"));
+  analysis::print_compare(out, "India / China (the Asian exceptions)", "< $1",
+                          example("IN") + " / " + example("CN"));
+  return 0;
+}

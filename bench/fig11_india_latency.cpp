@@ -1,0 +1,40 @@
+// Figure 11 — latency CDFs for India versus the rest of the population,
+// across the archival NDT data (2011-13) and the 2014 re-measurements
+// (fresh NDT runs and median latency to five popular websites).
+//
+// Paper reference points (§7.1):
+//   Indian users report much higher latencies in every measurement set;
+//   nearly every user in India sits above 100 ms
+//   web and NDT latency distributions are similar to each other
+#include <iostream>
+
+#include "analysis/figures.h"
+#include "analysis/report.h"
+#include "bench_common.h"
+
+int main() {
+  using namespace bblab;
+  const auto& ds = bench::bench_dataset();
+  const auto fig = analysis::fig11_india_latency(ds);
+  auto& out = std::cout;
+
+  analysis::print_banner(out, "Figure 11 — latency: India vs rest of population");
+  analysis::print_ecdf(out, "NDT '11-'13, India [ms]", fig.ndt1113_india);
+  analysis::print_ecdf(out, "NDT '11-'13, other [ms]", fig.ndt1113_other);
+  analysis::print_ecdf(out, "NDT '14, India [ms]", fig.ndt14_india);
+  analysis::print_ecdf(out, "NDT '14, other [ms]", fig.ndt14_other);
+  analysis::print_ecdf(out, "Web '14, India [ms]", fig.web14_india);
+  analysis::print_ecdf(out, "Web '14, other [ms]", fig.web14_other);
+
+  analysis::print_compare(out, "median NDT latency, India vs other",
+                          "several times higher in India",
+                          analysis::num(fig.ndt1113_india.inverse(0.5)) + " ms vs " +
+                              analysis::num(fig.ndt1113_other.inverse(0.5)) + " ms");
+  analysis::print_compare(out, "Indian users above 100 ms", "nearly every user",
+                          analysis::pct(1.0 - fig.ndt1113_india(100.0)));
+  analysis::print_compare(
+      out, "web vs NDT latency medians (India)", "similar distributions",
+      analysis::num(fig.web14_india.inverse(0.5)) + " ms (web) vs " +
+          analysis::num(fig.ndt14_india.inverse(0.5)) + " ms (NDT)");
+  return 0;
+}

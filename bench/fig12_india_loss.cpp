@@ -1,0 +1,31 @@
+// Figure 12 — packet loss CDFs for users in India versus the rest of the
+// population.
+//
+// Paper reference points (§7.2): Indian users experience much higher loss
+// rates than the general population; combined with the latency findings
+// this explains the country's depressed per-capacity demand.
+#include <iostream>
+
+#include "analysis/figures.h"
+#include "analysis/report.h"
+#include "bench_common.h"
+
+int main() {
+  using namespace bblab;
+  const auto& ds = bench::bench_dataset();
+  const auto fig = analysis::fig12_india_loss(ds);
+  auto& out = std::cout;
+
+  analysis::print_banner(out, "Figure 12 — packet loss: India vs rest of population");
+  analysis::print_ecdf(out, "loss [%], India", fig.loss_pct_india);
+  analysis::print_ecdf(out, "loss [%], other", fig.loss_pct_other);
+
+  analysis::print_compare(out, "median loss, India vs other", "much higher in India",
+                          analysis::num(fig.loss_pct_india.inverse(0.5)) + "% vs " +
+                              analysis::num(fig.loss_pct_other.inverse(0.5)) + "%");
+  analysis::print_compare(out, "Indian users above 1% loss",
+                          "a large share (vs ~14% overall)",
+                          analysis::pct(1.0 - fig.loss_pct_india(1.0)) + " vs " +
+                              analysis::pct(1.0 - fig.loss_pct_other(1.0)));
+  return 0;
+}

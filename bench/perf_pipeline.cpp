@@ -1,0 +1,112 @@
+// Performance microbenchmarks for the pipeline's hot components:
+// water-filling, the fluid simulator, caliper matching, the exact
+// binomial test, and plan-catalog generation.
+#include <benchmark/benchmark.h>
+
+#include "causal/matching.h"
+#include "core/rng.h"
+#include "market/catalog.h"
+#include "netsim/fluid.h"
+#include "netsim/workload.h"
+#include "stats/binomial.h"
+
+namespace {
+
+using namespace bblab;
+
+void BM_WaterFill(benchmark::State& state) {
+  Rng rng{1};
+  std::vector<double> caps(static_cast<std::size_t>(state.range(0)));
+  for (auto& c : caps) c = rng.uniform(1e5, 1e8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(netsim::water_fill(5e7, caps));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_WaterFill)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_FluidSimulatorUserDay(benchmark::State& state) {
+  netsim::AccessLink link;
+  link.down = Rate::from_mbps(16);
+  link.up = Rate::from_mbps(2);
+  link.rtt_ms = 40;
+  link.loss = 0.001;
+  const SimClock clock{2011};
+  const netsim::DiurnalModel diurnal{netsim::DiurnalParams{}, clock};
+  const netsim::WorkloadGenerator gen{diurnal};
+  netsim::WorkloadParams params;
+  params.intensity = 1.0;
+  params.bt_sessions_per_day = 1.0;
+  Rng rng{7};
+  const auto flows = gen.generate(params, link, 0.0, kDay, rng);
+  const netsim::FluidLinkSimulator sim{link};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.run(flows, 0.0, 2880, 30.0));
+  }
+  state.SetItemsProcessed(state.iterations() * 2880);
+}
+BENCHMARK(BM_FluidSimulatorUserDay);
+
+void BM_WorkloadGeneration(benchmark::State& state) {
+  netsim::AccessLink link;
+  link.down = Rate::from_mbps(16);
+  link.up = Rate::from_mbps(2);
+  link.rtt_ms = 40;
+  link.loss = 0.001;
+  const SimClock clock{2011};
+  const netsim::DiurnalModel diurnal{netsim::DiurnalParams{}, clock};
+  const netsim::WorkloadGenerator gen{diurnal};
+  netsim::WorkloadParams params;
+  Rng rng{7};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gen.generate(params, link, 0.0, kDay, rng));
+  }
+}
+BENCHMARK(BM_WorkloadGeneration);
+
+void BM_CaliperMatching(benchmark::State& state) {
+  Rng rng{3};
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<causal::Unit> treated(n);
+  std::vector<causal::Unit> control(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    treated[i].outcome = rng.uniform();
+    treated[i].covariates = {rng.lognormal(3, 0.8), rng.lognormal(0, 1),
+                             rng.uniform(10, 100)};
+    control[i].outcome = rng.uniform();
+    control[i].covariates = {rng.lognormal(3, 0.8), rng.lognormal(0, 1),
+                             rng.uniform(10, 100)};
+  }
+  const causal::CaliperMatcher matcher;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(matcher.match(treated, control));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_CaliperMatching)->Arg(100)->Arg(400)->Arg(1600);
+
+void BM_BinomialTestExact(benchmark::State& state) {
+  const auto trials = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        stats::binomial_p_greater(trials * 53 / 100, trials));
+  }
+}
+BENCHMARK(BM_BinomialTestExact)->Arg(100)->Arg(10000)->Arg(1000000);
+
+void BM_CatalogGeneration(benchmark::State& state) {
+  const auto world = market::World::builtin();
+  Rng rng{5};
+  for (auto _ : state) {
+    for (const auto& country : world.countries()) {
+      benchmark::DoNotOptimize(market::PlanCatalog::generate(country, rng));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(world.size()));
+}
+BENCHMARK(BM_CatalogGeneration);
+
+}  // namespace
+
+BENCHMARK_MAIN();

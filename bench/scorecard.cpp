@@ -1,0 +1,20 @@
+// The reproduction scorecard: every §9 headline claim checked against the
+// shared bench dataset, plus a Markdown rendering suitable for
+// EXPERIMENTS.md. Run with BBLAB_MARKDOWN=1 to emit only the Markdown.
+#include <cstdlib>
+#include <iostream>
+
+#include "analysis/scorecard.h"
+#include "bench_common.h"
+
+int main() {
+  using namespace bblab;
+  const auto& ds = bench::bench_dataset();
+  const auto card = analysis::run_scorecard(ds);
+  if (std::getenv("BBLAB_MARKDOWN") != nullptr) {
+    std::cout << card.to_markdown();
+  } else {
+    card.print(std::cout);
+  }
+  return card.pass_rate() >= 0.7 ? 0 : 1;
+}

@@ -1,0 +1,66 @@
+// Table 5 — percentage of countries per region where a 1 Mbps capacity
+// increase costs more than $1 / $5 / $10 (USD PPP) per month.
+//
+// Paper reference (Table 5):
+//   Africa                    100%  84%  74%
+//   Asia (all)                 67%  47%  33%
+//   Asia (developed)            0%   0%   0%
+//   Asia (developing)          83%  58%  42%
+//   Central America/Caribbean 100%  86%  14%
+//   Europe                     10%   0%   0%
+//   Middle East                86%  57%  43%
+//   North America               0%   0%   0%
+//   South America              78%  55%  33%
+#include <array>
+#include <cstdio>
+#include <iostream>
+
+#include "analysis/report.h"
+#include "analysis/tables.h"
+#include "bench_common.h"
+
+int main() {
+  using namespace bblab;
+  const auto& ds = bench::bench_dataset();
+  const auto tab = analysis::tab5_region_costs(ds);
+  auto& out = std::cout;
+
+  analysis::print_banner(out, "Table 5 — regional cost of increasing capacity");
+  std::array<char, 160> buf{};
+  out << "  region                         n   >$1    >$5    >$10\n";
+  double asia_above1 = 0;
+  double asia_above5 = 0;
+  double asia_above10 = 0;
+  double asia_n = 0;
+  for (const auto& row : tab) {
+    std::snprintf(buf.data(), buf.size(), "  %-28s %3zu  %5.1f%% %5.1f%% %5.1f%%\n",
+                  market::region_label(row.region).c_str(), row.countries,
+                  row.pct_above_1, row.pct_above_5, row.pct_above_10);
+    out << buf.data();
+    if (row.region == market::Region::kAsiaDeveloped ||
+        row.region == market::Region::kAsiaDeveloping) {
+      const auto n = static_cast<double>(row.countries);
+      asia_above1 += row.pct_above_1 / 100.0 * n;
+      asia_above5 += row.pct_above_5 / 100.0 * n;
+      asia_above10 += row.pct_above_10 / 100.0 * n;
+      asia_n += n;
+    }
+  }
+  if (asia_n > 0) {
+    std::snprintf(buf.data(), buf.size(), "  %-28s %3.0f  %5.1f%% %5.1f%% %5.1f%%\n",
+                  "Asia (all)", asia_n, 100.0 * asia_above1 / asia_n,
+                  100.0 * asia_above5 / asia_n, 100.0 * asia_above10 / asia_n);
+    out << buf.data();
+  }
+
+  out << "  paper:\n"
+         "  Africa                        --  100%    84%    74%\n"
+         "  Asia (developed)              --    0%     0%     0%\n"
+         "  Asia (developing)             --   83%    58%    42%\n"
+         "  Central America/Caribbean     --  100%    86%    14%\n"
+         "  Europe                        --   10%     0%     0%\n"
+         "  Middle East                   --   86%    57%    43%\n"
+         "  North America                 --    0%     0%     0%\n"
+         "  South America                 --   78%    55%    33%\n";
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Market explorer: inspect a country's synthesized retail broadband
+// market — its plan catalog, access price, upgrade cost, price-capacity
+// regression, and what a range of representative households would buy.
+//
+// Usage: market_explorer [ISO_CODE...]   (defaults to BW SA US JP)
+#include <array>
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/rng.h"
+#include "market/catalog.h"
+#include "market/choice.h"
+#include "market/country.h"
+
+int main(int argc, char** argv) {
+  using namespace bblab;
+  std::vector<std::string> codes;
+  for (int i = 1; i < argc; ++i) codes.emplace_back(argv[i]);
+  if (codes.empty()) codes = {"BW", "SA", "US", "JP"};
+
+  const auto world = market::World::builtin();
+  std::array<char, 200> buf{};
+
+  for (const auto& code : codes) {
+    if (!world.contains(code)) {
+      std::cout << "unknown country code: " << code << "\n";
+      continue;
+    }
+    const auto& country = world.at(code);
+    Rng rng{2014};
+    const auto catalog = market::PlanCatalog::generate(country, rng);
+
+    std::cout << "\n=== " << country.name << " (" << code << ", "
+              << market::region_label(country.region) << ") ===\n";
+    std::snprintf(buf.data(), buf.size(),
+                  "GDP per capita (PPP): $%.0f  |  %zu retail plans\n",
+                  country.gdp_per_capita_ppp, catalog.size());
+    std::cout << buf.data();
+
+    std::cout << "plans (by capacity):\n";
+    for (const auto& plan : catalog.by_capacity()) {
+      std::cout << "  " << plan.to_string() << "\n";
+    }
+
+    const auto access = catalog.access_price();
+    const auto fit = catalog.price_capacity_fit();
+    std::snprintf(buf.data(), buf.size(),
+                  "access price (cheapest >=1 Mbps): %s  |  upgrade cost: "
+                  "$%.2f/Mbps (r=%.2f)\n",
+                  access ? access->to_string().c_str() : "n/a", fit.slope, fit.r);
+    std::cout << buf.data();
+
+    // What would households of different means buy here?
+    std::vector<market::Household> probes;
+    Rng hrng{7};
+    for (int i = 0; i < 300; ++i) probes.push_back(sample_household(country, hrng));
+    const auto choice = market::ChoiceModel::calibrated(country, catalog, probes);
+
+    std::cout << "representative household choices:\n";
+    struct Persona {
+      const char* label;
+      double need;
+      double budget;
+    };
+    for (const auto& [label, need, budget] :
+         {Persona{"light user, tight budget", 1.0, 15.0},
+          Persona{"streaming family", 8.0, 60.0},
+          Persona{"power household", 30.0, 150.0}}) {
+      market::Household h;
+      h.need_mbps = need;
+      h.budget = MoneyPpp::usd(budget);
+      h.value_scale = 0.6 * budget;
+      const auto plan = choice.choose(h, catalog);
+      std::snprintf(buf.data(), buf.size(),
+                    "  %-26s (need %4.1f Mbps, budget $%5.1f) -> %s\n", label, need,
+                    budget, plan ? plan->to_string().c_str() : "nothing affordable");
+      std::cout << buf.data();
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Quality study: the §7 India walkthrough via the public API.
+//
+// Reproduces the paper's argument chain end to end on synthetic data:
+//   1. India's cost-to-upgrade is within 25% of the US's, but its access
+//      price is much higher — so by §5 logic Indian demand should be
+//      HIGHER at matched capacities.
+//   2. Measured instead: Indian users impose LOWER demand most of the time.
+//   3. Resolution: their latency and loss distributions dominate everyone
+//      else's, and the quality experiments (Tables 7 & 8) show that poor
+//      quality suppresses demand — overriding the price effect.
+#include <iostream>
+
+#include "analysis/common.h"
+#include "analysis/figures.h"
+#include "analysis/report.h"
+#include "analysis/tables.h"
+#include "causal/sensitivity.h"
+#include "dataset/generator.h"
+
+int main() {
+  using namespace bblab;
+  auto& out = std::cout;
+
+  dataset::StudyConfig config;
+  config.seed = 17;
+  config.population_scale = 0.15;
+  config.window_days = 1.0;
+  out << "generating study dataset...\n";
+  const auto ds = dataset::StudyGenerator{market::World::builtin(), config}.generate();
+
+  // Step 1: the market-side expectation.
+  const auto& us = ds.markets.at("US");
+  const auto& in = ds.markets.at("IN");
+  analysis::print_banner(out, "step 1 — market features (US vs India)");
+  out << "  access price: US " << us.access_price.to_string() << " vs India "
+      << in.access_price.to_string() << "\n"
+      << "  upgrade cost: US $" << analysis::num(us.upgrade_cost_per_mbps)
+      << "/Mbps vs India $" << analysis::num(in.upgrade_cost_per_mbps) << "/Mbps\n"
+      << "  => by the Section 5 price logic, Indian demand should be HIGHER\n";
+
+  // Step 2: the anomaly.
+  analysis::print_banner(out, "step 2 — the anomaly");
+  const auto tab7 = analysis::tab7_latency_experiment(ds);
+  analysis::print_experiment(out, tab7.us_vs_india);
+  out << "  (paper: the US user wins 62% of capacity-matched pairs)\n";
+
+  // Step 3: the explanation — quality.
+  analysis::print_banner(out, "step 3 — the explanation");
+  const auto fig11 = analysis::fig11_india_latency(ds);
+  const auto fig12 = analysis::fig12_india_loss(ds);
+  out << "  median RTT: India " << analysis::num(fig11.ndt1113_india.inverse(0.5))
+      << " ms vs others " << analysis::num(fig11.ndt1113_other.inverse(0.5)) << " ms\n"
+      << "  median loss: India " << analysis::num(fig12.loss_pct_india.inverse(0.5))
+      << "% vs others " << analysis::num(fig12.loss_pct_other.inverse(0.5)) << "%\n";
+  for (const auto& row : tab7.rows) {
+    analysis::print_experiment(out, row.result);
+  }
+  const auto tab8 = analysis::tab8_loss_experiment(ds);
+  for (const auto& row : tab8) {
+    analysis::print_experiment(out, row.result);
+  }
+
+  // How robust is the headline quality finding to hidden bias?
+  if (!tab7.rows.empty() && tab7.rows.front().result.test.trials > 0) {
+    const auto& headline = tab7.rows.front().result.test;
+    const auto sensitivity =
+        causal::sensitivity_analysis(headline.successes, headline.trials);
+    out << "\n  sensitivity of the latency finding: " << sensitivity.to_string()
+        << "\n";
+  }
+  out << "\nconclusion: quality suppression overrides the price effect for\n"
+         "India — the paper's Section 7 story, recovered from synthetic data.\n";
+  return 0;
+}

@@ -1,0 +1,138 @@
+#include "analysis/common.h"
+
+#include <cmath>
+
+namespace bblab::analysis {
+
+std::vector<RecordPtr> dasu_records(const dataset::StudyDataset& ds) {
+  std::vector<RecordPtr> out;
+  out.reserve(ds.dasu.size());
+  for (const auto& r : ds.dasu) out.push_back(&r);
+  return out;
+}
+
+std::vector<RecordPtr> fcc_records(const dataset::StudyDataset& ds) {
+  std::vector<RecordPtr> out;
+  out.reserve(ds.fcc.size());
+  for (const auto& r : ds.fcc) out.push_back(&r);
+  return out;
+}
+
+std::vector<RecordPtr> filter(
+    std::span<const RecordPtr> records,
+    const std::function<bool(const dataset::UserRecord&)>& keep) {
+  std::vector<RecordPtr> out;
+  for (const auto* r : records) {
+    if (keep(*r)) out.push_back(r);
+  }
+  return out;
+}
+
+std::vector<double> column(
+    std::span<const RecordPtr> records,
+    const std::function<double(const dataset::UserRecord&)>& get) {
+  std::vector<double> out;
+  out.reserve(records.size());
+  for (const auto* r : records) out.push_back(get(*r));
+  return out;
+}
+
+std::vector<causal::Unit> make_units(
+    std::span<const RecordPtr> records,
+    const std::function<double(const dataset::UserRecord&)>& outcome,
+    const std::vector<std::function<double(const dataset::UserRecord&)>>& covariates) {
+  std::vector<causal::Unit> units;
+  units.reserve(records.size());
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    causal::Unit u;
+    u.tag = i;
+    u.outcome = outcome(*records[i]);
+    u.covariates.reserve(covariates.size());
+    bool ok = std::isfinite(u.outcome);
+    for (const auto& cov : covariates) {
+      const double v = cov(*records[i]);
+      if (!std::isfinite(v)) {
+        ok = false;
+        break;
+      }
+      u.covariates.push_back(v);
+    }
+    if (ok) units.push_back(std::move(u));
+  }
+  return units;
+}
+
+std::vector<std::function<double(const dataset::UserRecord&)>>
+covariates_quality_and_market() {
+  return {
+      [](const dataset::UserRecord& r) { return r.rtt_ms; },
+      [](const dataset::UserRecord& r) { return r.loss; },
+      [](const dataset::UserRecord& r) { return r.access_price.dollars(); },
+      [](const dataset::UserRecord& r) { return r.upgrade_cost_per_mbps; },
+  };
+}
+
+std::vector<std::function<double(const dataset::UserRecord&)>>
+covariates_capacity_and_market() {
+  return {
+      [](const dataset::UserRecord& r) { return r.capacity.mbps(); },
+      [](const dataset::UserRecord& r) { return r.access_price.dollars(); },
+      [](const dataset::UserRecord& r) { return r.upgrade_cost_per_mbps; },
+  };
+}
+
+std::vector<std::function<double(const dataset::UserRecord&)>>
+covariates_capacity_quality() {
+  return {
+      [](const dataset::UserRecord& r) { return r.capacity.mbps(); },
+      [](const dataset::UserRecord& r) { return r.rtt_ms; },
+      [](const dataset::UserRecord& r) { return r.loss; },
+  };
+}
+
+std::vector<std::function<double(const dataset::UserRecord&)>> covariates_quality() {
+  return {
+      [](const dataset::UserRecord& r) { return r.rtt_ms; },
+      [](const dataset::UserRecord& r) { return r.loss; },
+  };
+}
+
+std::vector<std::function<double(const dataset::UserRecord&)>>
+covariates_price_experiment() {
+  return {
+      [](const dataset::UserRecord& r) { return r.capacity.mbps(); },
+      [](const dataset::UserRecord& r) { return r.rtt_ms; },
+      [](const dataset::UserRecord& r) { return r.loss; },
+      [](const dataset::UserRecord& r) { return r.upgrade_cost_per_mbps; },
+  };
+}
+
+std::vector<std::function<double(const dataset::UserRecord&)>>
+covariates_upgrade_cost_experiment() {
+  return {
+      [](const dataset::UserRecord& r) { return r.capacity.mbps(); },
+      [](const dataset::UserRecord& r) { return r.rtt_ms; },
+      [](const dataset::UserRecord& r) { return r.loss; },
+      [](const dataset::UserRecord& r) { return r.access_price.dollars(); },
+  };
+}
+
+std::vector<std::function<double(const dataset::UserRecord&)>>
+covariates_latency_experiment() {
+  return {
+      [](const dataset::UserRecord& r) { return r.capacity.mbps(); },
+      [](const dataset::UserRecord& r) { return r.loss; },
+      [](const dataset::UserRecord& r) { return r.access_price.dollars(); },
+  };
+}
+
+std::vector<std::function<double(const dataset::UserRecord&)>>
+covariates_loss_experiment() {
+  return {
+      [](const dataset::UserRecord& r) { return r.capacity.mbps(); },
+      [](const dataset::UserRecord& r) { return r.rtt_ms; },
+      [](const dataset::UserRecord& r) { return r.access_price.dollars(); },
+  };
+}
+
+}  // namespace bblab::analysis

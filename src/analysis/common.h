@@ -1,0 +1,63 @@
+// Shared plumbing for the per-figure/table analysis pipelines.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "causal/matching.h"
+#include "dataset/generator.h"
+#include "dataset/user_record.h"
+
+namespace bblab::analysis {
+
+using RecordPtr = const dataset::UserRecord*;
+
+/// Demand metric selectors (bps).
+[[nodiscard]] inline double mean_down_bps(const dataset::UserRecord& r, bool with_bt) {
+  return with_bt ? r.usage.mean_down.bps() : r.usage.mean_down_no_bt.bps();
+}
+[[nodiscard]] inline double peak_down_bps(const dataset::UserRecord& r, bool with_bt) {
+  return with_bt ? r.usage.peak_down.bps() : r.usage.peak_down_no_bt.bps();
+}
+
+/// All Dasu records, optionally restricted to one country / year.
+[[nodiscard]] std::vector<RecordPtr> dasu_records(const dataset::StudyDataset& ds);
+[[nodiscard]] std::vector<RecordPtr> fcc_records(const dataset::StudyDataset& ds);
+
+[[nodiscard]] std::vector<RecordPtr> filter(
+    std::span<const RecordPtr> records,
+    const std::function<bool(const dataset::UserRecord&)>& keep);
+
+/// Extract a column.
+[[nodiscard]] std::vector<double> column(
+    std::span<const RecordPtr> records,
+    const std::function<double(const dataset::UserRecord&)>& get);
+
+/// Build matching units: outcome + covariates per record. Records where
+/// any covariate is NaN are skipped (e.g. undefined market upgrade cost).
+[[nodiscard]] std::vector<causal::Unit> make_units(
+    std::span<const RecordPtr> records,
+    const std::function<double(const dataset::UserRecord&)>& outcome,
+    const std::vector<std::function<double(const dataset::UserRecord&)>>& covariates);
+
+/// The standard confounder sets used across the experiments.
+[[nodiscard]] std::vector<std::function<double(const dataset::UserRecord&)>>
+covariates_quality_and_market();  ///< rtt, loss, access price, upgrade cost
+[[nodiscard]] std::vector<std::function<double(const dataset::UserRecord&)>>
+covariates_capacity_and_market();  ///< capacity, access price, upgrade cost
+[[nodiscard]] std::vector<std::function<double(const dataset::UserRecord&)>>
+covariates_capacity_quality();  ///< capacity, rtt, loss
+[[nodiscard]] std::vector<std::function<double(const dataset::UserRecord&)>>
+covariates_quality();  ///< rtt, loss (within-market designs, e.g. FCC)
+[[nodiscard]] std::vector<std::function<double(const dataset::UserRecord&)>>
+covariates_price_experiment();  ///< capacity, rtt, loss, upgrade cost
+[[nodiscard]] std::vector<std::function<double(const dataset::UserRecord&)>>
+covariates_upgrade_cost_experiment();  ///< capacity, rtt, loss, access price
+[[nodiscard]] std::vector<std::function<double(const dataset::UserRecord&)>>
+covariates_latency_experiment();  ///< capacity, loss, access price
+[[nodiscard]] std::vector<std::function<double(const dataset::UserRecord&)>>
+covariates_loss_experiment();  ///< capacity, rtt, access price
+
+}  // namespace bblab::analysis

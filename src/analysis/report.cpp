@@ -1,0 +1,53 @@
+#include "analysis/report.h"
+
+#include <array>
+#include <cstdio>
+#include <ostream>
+
+namespace bblab::analysis {
+
+void print_banner(std::ostream& out, const std::string& title) {
+  out << "\n== " << title << " ==\n";
+}
+
+void print_compare(std::ostream& out, const std::string& what,
+                   const std::string& paper, const std::string& measured) {
+  out << "  " << what << "\n"
+      << "    paper:    " << paper << "\n"
+      << "    measured: " << measured << "\n";
+}
+
+void print_series(std::ostream& out, const std::string& name, const BinSeries& series) {
+  out << "  " << name << " (r=" << num(series.r) << ")\n";
+  std::array<char, 160> buf{};
+  for (const auto& p : series.points) {
+    std::snprintf(buf.data(), buf.size(),
+                  "    %9.3f Mbps -> %9.4f Mbps  ± %-8.4f (n=%zu)\n", p.capacity_mbps,
+                  p.usage_mbps.mean, p.usage_mbps.half_width, p.users);
+    out << buf.data();
+  }
+}
+
+void print_ecdf(std::ostream& out, const std::string& name, const stats::Ecdf& ecdf,
+                const std::string& unit) {
+  out << "  " << name << " (n=" << ecdf.size() << (unit.empty() ? "" : ", " + unit)
+      << "): " << ecdf.summary() << "\n";
+}
+
+void print_experiment(std::ostream& out, const causal::ExperimentResult& result) {
+  out << "  " << result.to_string() << "\n";
+}
+
+std::string pct(double fraction, int decimals) {
+  std::array<char, 48> buf{};
+  std::snprintf(buf.data(), buf.size(), "%.*f%%", decimals, fraction * 100.0);
+  return std::string{buf.data()};
+}
+
+std::string num(double value, int significant) {
+  std::array<char, 48> buf{};
+  std::snprintf(buf.data(), buf.size(), "%.*g", significant, value);
+  return std::string{buf.data()};
+}
+
+}  // namespace bblab::analysis

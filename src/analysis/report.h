@@ -1,0 +1,38 @@
+// Text rendering for the reproduction harness.
+//
+// Every bench prints the paper's reported values next to what this
+// reproduction measures, using these helpers so the format is uniform and
+// EXPERIMENTS.md can be assembled by eye or by script.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "analysis/figures.h"
+#include "causal/experiment.h"
+#include "stats/ecdf.h"
+
+namespace bblab::analysis {
+
+/// "== Figure 2 — usage vs capacity ==" style banner.
+void print_banner(std::ostream& out, const std::string& title);
+
+/// "paper: ... | measured: ..." comparison line.
+void print_compare(std::ostream& out, const std::string& what,
+                   const std::string& paper, const std::string& measured);
+
+/// A BinSeries as an aligned table of capacity -> usage ± CI.
+void print_series(std::ostream& out, const std::string& name, const BinSeries& series);
+
+/// An ECDF as quantile milestones.
+void print_ecdf(std::ostream& out, const std::string& name, const stats::Ecdf& ecdf,
+                const std::string& unit = "");
+
+/// An experiment result as a table row.
+void print_experiment(std::ostream& out, const causal::ExperimentResult& result);
+
+/// Format helpers.
+[[nodiscard]] std::string pct(double fraction, int decimals = 1);
+[[nodiscard]] std::string num(double value, int significant = 3);
+
+}  // namespace bblab::analysis

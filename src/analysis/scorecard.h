@@ -1,0 +1,43 @@
+// Reproduction scorecard.
+//
+// Every headline claim from the paper's summary (§9), checked
+// programmatically against a generated dataset. The scorecard is the
+// repository's acceptance test: EXPERIMENTS.md is generated from it, the
+// `scorecard` bench prints it, and integration tests assert on its
+// pass rate. Each check records the paper's claim, what this reproduction
+// measured, and a pass/fail against a shape criterion (direction,
+// ordering, thresholds — never absolute testbed numbers).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dataset/generator.h"
+
+namespace bblab::analysis {
+
+struct Check {
+  std::string id;          ///< e.g. "fig2.correlation"
+  std::string claim;       ///< the paper's wording/value
+  std::string measured;    ///< this reproduction's value
+  bool pass{false};
+};
+
+struct Scorecard {
+  std::vector<Check> checks;
+
+  [[nodiscard]] std::size_t passed() const;
+  [[nodiscard]] std::size_t total() const { return checks.size(); }
+  [[nodiscard]] double pass_rate() const;
+
+  /// Render as an aligned text table.
+  void print(std::ostream& out) const;
+  /// Render as a Markdown table (EXPERIMENTS.md body).
+  [[nodiscard]] std::string to_markdown() const;
+};
+
+/// Run every claim check against the dataset. Cheap relative to
+/// generation — all pipelines reuse the records in memory.
+[[nodiscard]] Scorecard run_scorecard(const dataset::StudyDataset& ds);
+
+}  // namespace bblab::analysis

@@ -1,0 +1,105 @@
+// Table pipelines: the paper's natural-experiment result tables.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/common.h"
+#include "causal/experiment.h"
+#include "dataset/generator.h"
+
+namespace bblab::analysis {
+
+// ---------------------------------------------------------------- Tab. 1
+/// Within-user upgrade experiment: does demand rise after moving to a
+/// faster service? (paper: avg 66.8%, peak 70.3%, both p << 0.05)
+struct Tab1Result {
+  causal::ExperimentResult average;  ///< mean usage, no BitTorrent
+  causal::ExperimentResult peak;     ///< p95 usage, no BitTorrent
+};
+[[nodiscard]] Tab1Result tab1_upgrade_experiment(const dataset::StudyDataset& ds);
+
+// ---------------------------------------------------------------- Tab. 2
+/// Matched-pair capacity experiment per adjacent capacity class.
+struct Tab2Row {
+  int control_bin{0};  ///< treatment bin is control_bin + 1
+  std::string control_label;
+  std::string treatment_label;
+  causal::ExperimentResult result;
+};
+struct Tab2Result {
+  std::vector<Tab2Row> dasu;
+  std::vector<Tab2Row> fcc;
+};
+[[nodiscard]] Tab2Result tab2_capacity_matching(const dataset::StudyDataset& ds);
+
+// ---------------------------------------------------------------- Tab. 3
+/// Price-of-access experiment: users in pricier markets impose higher
+/// demand at the same capacity. (paper: 63.4% / 72.2%)
+struct Tab3Result {
+  causal::ExperimentResult mid;   ///< ($0,25] vs ($25,60]
+  causal::ExperimentResult high;  ///< ($0,25] vs ($60,inf)
+};
+[[nodiscard]] Tab3Result tab3_price_experiment(const dataset::StudyDataset& ds);
+
+// ---------------------------------------------------------------- Tab. 4
+struct Tab4Row {
+  std::string code;
+  std::string name;
+  std::size_t users{0};
+  double median_capacity_mbps{0.0};
+  double nearest_tier_mbps{0.0};
+  double tier_price_usd_ppp{0.0};
+  double gdp_per_capita_ppp{0.0};
+  double income_share{0.0};  ///< tier price / monthly GDP pc
+};
+using Tab4Result = std::vector<Tab4Row>;
+[[nodiscard]] Tab4Result tab4_case_study(const dataset::StudyDataset& ds,
+                                         const std::vector<std::string>& countries);
+
+// ---------------------------------------------------------------- Tab. 5
+struct Tab5Row {
+  market::Region region{market::Region::kEurope};
+  std::size_t countries{0};
+  double pct_above_1{0.0};
+  double pct_above_5{0.0};
+  double pct_above_10{0.0};
+};
+using Tab5Result = std::vector<Tab5Row>;
+[[nodiscard]] Tab5Result tab5_region_costs(const dataset::StudyDataset& ds);
+
+// ---------------------------------------------------------------- Tab. 6
+/// Cost-of-upgrading experiment, average demand with (a) and without (b)
+/// BitTorrent. (paper: 53.8/58.7% and 52.2*/56.3%)
+struct Tab6Result {
+  causal::ExperimentResult with_bt_mid;    ///< ($0,.5] vs (.5,1]
+  causal::ExperimentResult with_bt_high;   ///< (.5,1] vs (1,inf)
+  causal::ExperimentResult no_bt_mid;
+  causal::ExperimentResult no_bt_high;
+};
+[[nodiscard]] Tab6Result tab6_upgrade_cost_experiment(const dataset::StudyDataset& ds);
+
+// ---------------------------------------------------------------- Tab. 7
+/// Latency experiment: very-high-latency users (512-2048 ms) vs lower
+/// latency bins; peak usage without BitTorrent. Plus the §7.1 India-vs-US
+/// comparison (paper: India lower 62% of the time).
+struct Tab7Row {
+  std::string treatment_label;  ///< the lower-latency group
+  causal::ExperimentResult result;
+};
+struct Tab7Result {
+  std::vector<Tab7Row> rows;
+  causal::ExperimentResult us_vs_india;  ///< H: US user demand > India's
+};
+[[nodiscard]] Tab7Result tab7_latency_experiment(const dataset::StudyDataset& ds);
+
+// ---------------------------------------------------------------- Tab. 8
+struct Tab8Row {
+  std::string control_label;    ///< high-loss group
+  std::string treatment_label;  ///< low-loss group
+  causal::ExperimentResult result;
+};
+using Tab8Result = std::vector<Tab8Row>;
+[[nodiscard]] Tab8Result tab8_loss_experiment(const dataset::StudyDataset& ds);
+
+}  // namespace bblab::analysis

@@ -1,0 +1,55 @@
+#include "behavior/archetype.h"
+
+#include <array>
+
+namespace bblab::behavior {
+
+std::string archetype_label(Archetype a) {
+  switch (a) {
+    case Archetype::kLight: return "light";
+    case Archetype::kBrowser: return "browser";
+    case Archetype::kStreamer: return "streamer";
+    case Archetype::kGamer: return "gamer";
+    case Archetype::kPowerUser: return "power";
+    case Archetype::kBtHeavy: return "bt-heavy";
+  }
+  return "?";
+}
+
+std::span<const Archetype> all_archetypes() {
+  static constexpr std::array<Archetype, 6> kAll{
+      Archetype::kLight,  Archetype::kBrowser,   Archetype::kStreamer,
+      Archetype::kGamer,  Archetype::kPowerUser, Archetype::kBtHeavy};
+  return kAll;
+}
+
+ArchetypeTraits traits_of(Archetype a) {
+  switch (a) {
+    case Archetype::kLight:
+      return {.base_intensity = 0.35, .bt_sessions_per_day = 0.0,
+              .video_top_mbps = 1.8, .update_multiplier = 0.5};
+    case Archetype::kBrowser:
+      return {.base_intensity = 1.0, .bt_sessions_per_day = 0.3,
+              .video_top_mbps = 5.0, .update_multiplier = 1.0};
+    case Archetype::kStreamer:
+      return {.base_intensity = 1.4, .bt_sessions_per_day = 0.3,
+              .video_top_mbps = 8.0, .update_multiplier = 1.0};
+    case Archetype::kGamer:
+      return {.base_intensity = 1.1, .bt_sessions_per_day = 0.6,
+              .video_top_mbps = 5.0, .update_multiplier = 3.0};
+    case Archetype::kPowerUser:
+      return {.base_intensity = 2.2, .bt_sessions_per_day = 1.2,
+              .video_top_mbps = 8.0, .update_multiplier = 2.0};
+    case Archetype::kBtHeavy:
+      return {.base_intensity = 1.2, .bt_sessions_per_day = 4.0,
+              .video_top_mbps = 5.0, .update_multiplier = 1.0};
+  }
+  return {};
+}
+
+Archetype ArchetypeMix::sample(Rng& rng) const {
+  const std::array<double, 6> weights{light, browser, streamer, gamer, power, bt_heavy};
+  return all_archetypes()[rng.weighted(weights)];
+}
+
+}  // namespace bblab::behavior

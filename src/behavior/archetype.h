@@ -1,0 +1,65 @@
+// User archetypes.
+//
+// The paper treats subscribers as a homogeneous group and notes in §10
+// that distinguishing gamers / streamers / shoppers is future work; the
+// generator nevertheless needs heterogeneity for realistic dispersion, so
+// we model a small set of archetypes that differ in foreground intensity,
+// BitTorrent habit, and video appetite. The population mix is a knob of
+// the dataset builders (Dasu's BitTorrent-extension population is heavy
+// on P2P users; the FCC panel is not).
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "core/rng.h"
+
+namespace bblab::behavior {
+
+enum class Archetype {
+  kLight,       ///< email, light browsing
+  kBrowser,     ///< typical web-centric household
+  kStreamer,    ///< video-dominated evenings
+  kGamer,       ///< latency-sensitive, moderate volume, frequent updates
+  kPowerUser,   ///< heavy on everything
+  kBtHeavy,     ///< BitTorrent-dominated
+};
+
+[[nodiscard]] std::string archetype_label(Archetype a);
+[[nodiscard]] std::span<const Archetype> all_archetypes();
+
+/// Per-archetype behavioral constants.
+struct ArchetypeTraits {
+  double base_intensity{1.0};      ///< foreground session-rate multiplier
+  double bt_sessions_per_day{0.0}; ///< BitTorrent habit when the user is a BT user
+  double video_top_mbps{5.0};      ///< device/subscription ceiling on video
+  double update_multiplier{1.0};   ///< game/system update appetite
+};
+
+[[nodiscard]] ArchetypeTraits traits_of(Archetype a);
+
+/// Population mixes: probability of each archetype.
+struct ArchetypeMix {
+  double light{0.18};
+  double browser{0.34};
+  double streamer{0.22};
+  double gamer{0.10};
+  double power{0.08};
+  double bt_heavy{0.08};
+
+  /// Dasu reached users through a BitTorrent extension — its population
+  /// over-represents P2P-habituated users.
+  [[nodiscard]] static ArchetypeMix dasu() {
+    return {.light = 0.10, .browser = 0.28, .streamer = 0.20,
+            .gamer = 0.12, .power = 0.10, .bt_heavy = 0.20};
+  }
+  /// FCC/SamKnows panelists are ordinary broadband households.
+  [[nodiscard]] static ArchetypeMix fcc() {
+    return {.light = 0.20, .browser = 0.36, .streamer = 0.24,
+            .gamer = 0.10, .power = 0.07, .bt_heavy = 0.03};
+  }
+
+  [[nodiscard]] Archetype sample(Rng& rng) const;
+};
+
+}  // namespace bblab::behavior

@@ -1,0 +1,100 @@
+#include "behavior/caps.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.h"
+#include "core/time.h"
+
+namespace bblab::behavior {
+
+namespace {
+
+/// Mean of a log-normal given its median and log-sigma.
+double lognormal_mean(double median, double sigma) {
+  return median * std::exp(sigma * sigma / 2.0);
+}
+
+/// Average diurnal duty cycle: the activity curve integrates to roughly
+/// (floor + 1)/2 over a day, nudged up by the weekend lift.
+constexpr double kDutyCycle = 0.58;
+
+}  // namespace
+
+double estimate_monthly_bytes(const netsim::WorkloadParams& params,
+                              const netsim::AccessLink& link,
+                              const netsim::WorkloadConstants& c,
+                              const netsim::TcpModel& tcp) {
+  const double days = 30.0;
+  const double active_hours = 24.0 * kDutyCycle;
+
+  // Web: volume-bound fetches.
+  const double web_per_day = c.web_sessions_per_hour_peak * params.intensity * active_hours;
+  const double web_bytes =
+      web_per_day * lognormal_mean(c.web_page_median_bytes, c.web_page_log_sigma);
+
+  // Video: duration-bound at the ABR rung this link sustains.
+  netsim::WorkloadGenerator probe{
+      netsim::DiurnalModel{netsim::DiurnalParams{}, SimClock{2011}}, tcp, c};
+  const double bitrate_bps = probe.abr_bitrate_mbps(link, params.video_top_mbps) * 1.1e6;
+  const double video_per_day =
+      c.video_sessions_per_hour_peak * params.heavy_intensity * active_hours;
+  const double video_bytes =
+      video_per_day * lognormal_mean(c.video_duration_median_s, c.video_duration_log_sigma) *
+      bitrate_bps / 8.0;
+
+  // Bulk: truncated-Pareto volumes.
+  const double alpha = c.bulk_volume_pareto_alpha;
+  const double pareto_mean =
+      std::min(alpha / (alpha - 1.0) * c.bulk_volume_min_bytes, c.bulk_volume_max_bytes);
+  const double bulk_per_day =
+      c.bulk_sessions_per_hour_peak * params.heavy_intensity * active_hours;
+  const double bulk_bytes = bulk_per_day * pareto_mean;
+
+  // BitTorrent: swarm-limited long sessions (download side only here).
+  const double bt_rate_bps =
+      std::min(link.down.bps(),
+               lognormal_mean(c.bt_swarm_median_mbps, c.bt_swarm_log_sigma) * 1e6);
+  const double bt_bytes = params.bt_sessions_per_day *
+                          lognormal_mean(c.bt_duration_median_s, c.bt_duration_log_sigma) *
+                          bt_rate_bps / 8.0;
+
+  // Background drizzle + updates.
+  const double background_bytes = c.background_rate_kbps * 1e3 / 8.0 * 86400.0;
+  const double update_bytes =
+      c.update_sessions_per_day *
+      lognormal_mean(c.update_volume_median_bytes, c.update_volume_log_sigma);
+
+  return days *
+         (web_bytes + video_bytes + bulk_bytes + bt_bytes + background_bytes + update_bytes);
+}
+
+CapThrottle cap_throttle(double expected_bytes, double cap_bytes, const CapPolicy& policy) {
+  require(cap_bytes > 0.0, "cap_throttle: cap must be positive");
+  require(expected_bytes >= 0.0, "cap_throttle: expected volume must be >= 0");
+  CapThrottle t;
+  const double usage_ratio = expected_bytes / cap_bytes;
+  if (usage_ratio <= policy.throttle_start) return t;
+
+  // Linear descent from 1 at the throttle-start point to the floor at the
+  // cap itself; clamped at the floor beyond it.
+  const double span = 1.0 - policy.throttle_start;
+  const double severity =
+      std::clamp((usage_ratio - policy.throttle_start) / span, 0.0, 1.0);
+  t.heavy = 1.0 - (1.0 - policy.min_heavy_factor) * severity;
+  t.light = 1.0 - (1.0 - policy.min_light_factor) * severity;
+  return t;
+}
+
+void apply_cap(netsim::WorkloadParams& params, const netsim::AccessLink& link,
+               Bytes monthly_cap, const netsim::WorkloadConstants& constants,
+               const netsim::TcpModel& tcp, const CapPolicy& policy) {
+  const double expected = estimate_monthly_bytes(params, link, constants, tcp);
+  const auto throttle =
+      cap_throttle(expected, static_cast<double>(monthly_cap), policy);
+  params.intensity *= throttle.light;
+  params.heavy_intensity *= throttle.heavy;
+  params.bt_sessions_per_day *= throttle.heavy;
+}
+
+}  // namespace bblab::behavior

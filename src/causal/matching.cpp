@@ -1,0 +1,98 @@
+#include "causal/matching.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.h"
+
+namespace bblab::causal {
+
+bool within_caliper(std::span<const double> a, std::span<const double> b,
+                    const MatcherOptions& options) {
+  require(a.size() == b.size(), "within_caliper: covariate dimension mismatch");
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double scale = std::max(std::fabs(a[i]), std::fabs(b[i]));
+    if (std::fabs(a[i] - b[i]) > options.caliper * scale + options.slack_for(i)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+double covariate_distance(std::span<const double> a, std::span<const double> b) {
+  require(a.size() == b.size(), "covariate_distance: dimension mismatch");
+  if (a.empty()) return 0.0;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double scale = std::max({std::fabs(a[i]), std::fabs(b[i]), 1e-12});
+    sum += std::fabs(a[i] - b[i]) / scale;
+  }
+  return sum / static_cast<double>(a.size());
+}
+
+std::vector<MatchedPair> CaliperMatcher::match(std::span<const Unit> treated,
+                                               std::span<const Unit> control) const {
+  std::vector<MatchedPair> feasible;
+  for (std::size_t t = 0; t < treated.size(); ++t) {
+    for (std::size_t c = 0; c < control.size(); ++c) {
+      if (!within_caliper(treated[t].covariates, control[c].covariates, options_)) {
+        continue;
+      }
+      feasible.push_back(
+          {t, c, covariate_distance(treated[t].covariates, control[c].covariates)});
+    }
+  }
+  std::sort(feasible.begin(), feasible.end(),
+            [](const MatchedPair& a, const MatchedPair& b) {
+              if (a.distance != b.distance) return a.distance < b.distance;
+              if (a.treated_index != b.treated_index) {
+                return a.treated_index < b.treated_index;
+              }
+              return a.control_index < b.control_index;
+            });
+
+  std::vector<bool> treated_used(treated.size(), false);
+  std::vector<bool> control_used(control.size(), false);
+  std::vector<MatchedPair> pairs;
+  for (const auto& p : feasible) {
+    if (treated_used[p.treated_index] || control_used[p.control_index]) continue;
+    treated_used[p.treated_index] = true;
+    control_used[p.control_index] = true;
+    pairs.push_back(p);
+  }
+  return pairs;
+}
+
+std::vector<double> standardized_mean_differences(std::span<const Unit> treated,
+                                                  std::span<const Unit> control,
+                                                  std::span<const MatchedPair> pairs) {
+  if (pairs.empty()) return {};
+  const std::size_t k = treated[pairs.front().treated_index].covariates.size();
+  std::vector<double> smd(k, 0.0);
+  for (std::size_t j = 0; j < k; ++j) {
+    double mt = 0.0;
+    double mc = 0.0;
+    for (const auto& p : pairs) {
+      mt += treated[p.treated_index].covariates[j];
+      mc += control[p.control_index].covariates[j];
+    }
+    const auto n = static_cast<double>(pairs.size());
+    mt /= n;
+    mc /= n;
+    double vt = 0.0;
+    double vc = 0.0;
+    for (const auto& p : pairs) {
+      const double dt = treated[p.treated_index].covariates[j] - mt;
+      const double dc = control[p.control_index].covariates[j] - mc;
+      vt += dt * dt;
+      vc += dc * dc;
+    }
+    vt /= std::max(1.0, n - 1.0);
+    vc /= std::max(1.0, n - 1.0);
+    const double pooled = std::sqrt((vt + vc) / 2.0);
+    smd[j] = pooled > 0.0 ? (mt - mc) / pooled : 0.0;
+  }
+  return smd;
+}
+
+}  // namespace bblab::causal

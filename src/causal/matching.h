@@ -1,0 +1,81 @@
+// Nearest-neighbor matching with calipers.
+//
+// The paper's study design (§2.3, §3.2): to compare a "treated" group with
+// a "control" group observationally, pair each treated user with the most
+// similar control user, requiring every confounding covariate to agree
+// within a 25% caliper ("users with latencies of 50 and 62 ms ... are
+// considered sufficiently similar"); unmatched users drop out. Matching is
+// one-to-one without replacement, greedy in ascending distance, which
+// approximates optimal matching well at these sample sizes.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace bblab::causal {
+
+/// One observational unit: an outcome plus the covariates that must be
+/// balanced between groups.
+struct Unit {
+  double outcome{0.0};
+  std::vector<double> covariates;
+  /// Opaque tag for callers to map matches back to their records.
+  std::size_t tag{0};
+};
+
+struct MatchedPair {
+  std::size_t treated_index{0};
+  std::size_t control_index{0};
+  double distance{0.0};
+};
+
+struct MatcherOptions {
+  /// Relative caliper: covariates a, b are compatible when
+  /// |a - b| <= caliper * max(|a|, |b|) + slack.
+  double caliper{0.25};
+  /// Absolute tolerance added per covariate (lets near-zero covariates
+  /// such as loss rates match).
+  double absolute_slack{1e-9};
+  /// Optional per-covariate overrides of `absolute_slack` (e.g. a loss
+  /// rate measured as exactly 0 should still match a 0.01% loss rate).
+  /// Empty = use the scalar for every covariate.
+  std::vector<double> absolute_slacks;
+
+  [[nodiscard]] double slack_for(std::size_t covariate) const {
+    return covariate < absolute_slacks.size() ? absolute_slacks[covariate]
+                                              : absolute_slack;
+  }
+};
+
+/// True when every covariate pair satisfies the caliper.
+[[nodiscard]] bool within_caliper(std::span<const double> a, std::span<const double> b,
+                                  const MatcherOptions& options);
+
+/// Normalized distance between covariate vectors (mean relative difference).
+[[nodiscard]] double covariate_distance(std::span<const double> a,
+                                        std::span<const double> b);
+
+class CaliperMatcher {
+ public:
+  explicit CaliperMatcher(MatcherOptions options = {}) : options_{options} {}
+
+  /// Greedy one-to-one matching: enumerate all caliper-feasible pairs,
+  /// sort by distance, take pairs whose endpoints are still free.
+  [[nodiscard]] std::vector<MatchedPair> match(std::span<const Unit> treated,
+                                               std::span<const Unit> control) const;
+
+  [[nodiscard]] const MatcherOptions& options() const { return options_; }
+
+ private:
+  MatcherOptions options_;
+};
+
+/// Covariate balance diagnostic: standardized mean difference per
+/// covariate over the matched pairs (|SMD| < 0.1 is the usual "balanced"
+/// rule of thumb).
+[[nodiscard]] std::vector<double> standardized_mean_differences(
+    std::span<const Unit> treated, std::span<const Unit> control,
+    std::span<const MatchedPair> pairs);
+
+}  // namespace bblab::causal

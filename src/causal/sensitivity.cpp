@@ -1,0 +1,59 @@
+#include "causal/sensitivity.h"
+
+#include <array>
+#include <cstdio>
+
+#include "core/error.h"
+#include "stats/binomial.h"
+
+namespace bblab::causal {
+
+double rosenbaum_p_bound(std::uint64_t wins, std::uint64_t trials, double gamma) {
+  require(gamma >= 1.0, "rosenbaum_p_bound: gamma must be >= 1");
+  require(wins <= trials, "rosenbaum_p_bound: wins must be <= trials");
+  if (trials == 0) return 1.0;
+  const double p_worst = gamma / (1.0 + gamma);
+  return stats::binomial_p_greater(wins, trials, p_worst);
+}
+
+std::string SensitivityResult::to_string() const {
+  std::array<char, 256> buf{};
+  std::string s;
+  std::snprintf(buf.data(), buf.size(), "robust to hidden bias up to Gamma=%.2f;",
+                critical_gamma);
+  s += buf.data();
+  for (const auto& point : curve) {
+    std::snprintf(buf.data(), buf.size(), " p(G=%.1f)=%.3g", point.gamma, point.p_bound);
+    s += buf.data();
+  }
+  return s;
+}
+
+SensitivityResult sensitivity_analysis(std::uint64_t wins, std::uint64_t trials,
+                                       double alpha, double gamma_max) {
+  require(alpha > 0.0 && alpha < 1.0, "sensitivity_analysis: alpha in (0,1)");
+  require(gamma_max >= 1.0, "sensitivity_analysis: gamma_max >= 1");
+  SensitivityResult result;
+
+  // Fine scan for the critical Γ; the p-bound is monotone in Γ.
+  constexpr double kStep = 0.01;
+  double last_significant = 1.0;
+  bool ever_significant = false;
+  for (double gamma = 1.0; gamma <= gamma_max + 1e-9; gamma += kStep) {
+    if (rosenbaum_p_bound(wins, trials, gamma) < alpha) {
+      last_significant = gamma;
+      ever_significant = true;
+    } else {
+      break;
+    }
+  }
+  result.critical_gamma = ever_significant ? last_significant : 1.0;
+
+  for (const double gamma : {1.0, 1.2, 1.5, 2.0}) {
+    if (gamma > gamma_max) break;
+    result.curve.push_back({gamma, rosenbaum_p_bound(wins, trials, gamma)});
+  }
+  return result;
+}
+
+}  // namespace bblab::causal

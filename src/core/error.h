@@ -1,0 +1,39 @@
+// Error handling primitives.
+//
+// broadband-lab uses exceptions for precondition violations and I/O
+// failures (per C++ Core Guidelines E.2/E.3): analysis pipelines are batch
+// jobs where unwinding to the top and reporting is exactly the right
+// recovery. Hot simulator paths validate at construction time so the inner
+// loops stay check-free.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace bblab {
+
+/// Thrown when a caller violates a documented precondition.
+class InvalidArgument : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// Thrown on file / parse failures in the dataset layer.
+class IoError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Thrown when an analysis cannot proceed (e.g. empty matched set where the
+/// study design requires pairs).
+class AnalysisError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Validate a caller-supplied precondition; throws InvalidArgument.
+inline void require(bool condition, const std::string& message) {
+  if (!condition) throw InvalidArgument{message};
+}
+
+}  // namespace bblab

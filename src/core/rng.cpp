@@ -1,0 +1,90 @@
+#include "core/rng.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace bblab {
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  require(lo <= hi, "uniform_int: lo must be <= hi");
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (span == 0) {  // full 64-bit range
+    return static_cast<std::int64_t>(next_u64());
+  }
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = max() - max() % span;
+  std::uint64_t x = next_u64();
+  while (x >= limit) x = next_u64();
+  return lo + static_cast<std::int64_t>(x % span);
+}
+
+double Rng::normal() {
+  // Box–Muller; draw u1 away from 0 to keep log finite.
+  double u1 = uniform();
+  while (u1 <= 0.0) u1 = uniform();
+  const double u2 = uniform();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * std::numbers::pi * u2);
+}
+
+double Rng::lognormal(double mu, double sigma) {
+  require(sigma >= 0.0, "lognormal: sigma must be non-negative");
+  return std::exp(normal(mu, sigma));
+}
+
+double Rng::exponential(double lambda) {
+  require(lambda > 0.0, "exponential: lambda must be positive");
+  double u = uniform();
+  while (u <= 0.0) u = uniform();
+  return -std::log(u) / lambda;
+}
+
+double Rng::pareto(double x_min, double alpha) {
+  require(x_min > 0.0, "pareto: x_min must be positive");
+  require(alpha > 0.0, "pareto: alpha must be positive");
+  double u = uniform();
+  while (u <= 0.0) u = uniform();
+  return x_min / std::pow(u, 1.0 / alpha);
+}
+
+std::uint64_t Rng::poisson(double mean) {
+  require(mean >= 0.0, "poisson: mean must be non-negative");
+  if (mean == 0.0) return 0;
+  if (mean < 64.0) {
+    // Knuth's product-of-uniforms method.
+    const double threshold = std::exp(-mean);
+    std::uint64_t k = 0;
+    double p = 1.0;
+    do {
+      ++k;
+      p *= uniform();
+    } while (p > threshold);
+    return k - 1;
+  }
+  // Normal approximation with continuity correction for large means.
+  const double x = std::round(normal(mean, std::sqrt(mean)));
+  return x <= 0.0 ? 0 : static_cast<std::uint64_t>(x);
+}
+
+std::size_t Rng::index(std::size_t size) {
+  require(size > 0, "index: size must be positive");
+  return static_cast<std::size_t>(
+      uniform_int(0, static_cast<std::int64_t>(size) - 1));
+}
+
+std::size_t Rng::weighted(std::span<const double> weights) {
+  require(!weights.empty(), "weighted: weights must be non-empty");
+  double total = 0.0;
+  for (const double w : weights) {
+    require(w >= 0.0, "weighted: weights must be non-negative");
+    total += w;
+  }
+  require(total > 0.0, "weighted: weights must not all be zero");
+  double target = uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    target -= weights[i];
+    if (target < 0.0) return i;
+  }
+  return weights.size() - 1;  // numeric edge: fell off the end
+}
+
+}  // namespace bblab

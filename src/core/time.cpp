@@ -1,0 +1,22 @@
+#include "core/time.h"
+
+#include <array>
+#include <cstdio>
+
+namespace bblab {
+
+std::string SimClock::label(SimTime t) const {
+  const int yr = year(t);
+  const double within_year = t - std::floor(t / kYear) * kYear;
+  const int week = static_cast<int>(within_year / kWeek);
+  const int dow = day_of_week(t);
+  const double hod = hour_of_day(t);
+  const int hh = static_cast<int>(hod);
+  const int mm = static_cast<int>((hod - hh) * 60.0);
+  std::array<char, 64> buf{};
+  std::snprintf(buf.data(), buf.size(), "%04d-w%02d day%d %02d:%02d", yr, week,
+                dow, hh, mm);
+  return std::string{buf.data()};
+}
+
+}  // namespace bblab

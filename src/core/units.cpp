@@ -1,0 +1,49 @@
+#include "core/units.h"
+
+#include <array>
+#include <cstdio>
+
+namespace bblab {
+namespace {
+
+std::string format_with(double value, const char* suffix) {
+  std::array<char, 64> buf{};
+  // Two significant decimals, trimming trailing zeros for readability.
+  std::snprintf(buf.data(), buf.size(), "%.2f", value);
+  std::string s{buf.data()};
+  while (!s.empty() && s.back() == '0') s.pop_back();
+  if (!s.empty() && s.back() == '.') s.pop_back();
+  return s + " " + suffix;
+}
+
+}  // namespace
+
+std::string Rate::to_string() const {
+  const double abs = std::fabs(bps_);
+  if (abs >= 1e9) return format_with(gbps(), "Gbps");
+  if (abs >= 1e6) return format_with(mbps(), "Mbps");
+  if (abs >= 1e3) return format_with(kbps(), "kbps");
+  return format_with(bps_, "bps");
+}
+
+std::string MoneyPpp::to_string() const {
+  std::array<char, 64> buf{};
+  std::snprintf(buf.data(), buf.size(), "$%.2f", dollars_);
+  return std::string{buf.data()};
+}
+
+std::string format_bytes(double bytes) {
+  const double abs = std::fabs(bytes);
+  if (abs >= static_cast<double>(kGiB)) {
+    return format_with(bytes / static_cast<double>(kGiB), "GiB");
+  }
+  if (abs >= static_cast<double>(kMiB)) {
+    return format_with(bytes / static_cast<double>(kMiB), "MiB");
+  }
+  if (abs >= static_cast<double>(kKiB)) {
+    return format_with(bytes / static_cast<double>(kKiB), "KiB");
+  }
+  return format_with(bytes, "B");
+}
+
+}  // namespace bblab

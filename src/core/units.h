@@ -1,0 +1,132 @@
+// Strong-ish unit types used throughout broadband-lab.
+//
+// The quantities the paper manipulates — link capacities in Mbps, traffic
+// volumes in bytes, monthly prices in PPP-adjusted US dollars, latencies in
+// milliseconds and loss rates as fractions — are all scalars, and mixing
+// them up is the classic source of silent analysis bugs. We wrap the two
+// most error-prone ones (bit-rates and money) in thin value types and keep
+// conversion logic in one place.
+#pragma once
+
+#include <cmath>
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace bblab {
+
+/// A data rate. Stored internally as bits per second (double).
+///
+/// Use the named constructors (`from_mbps`, `from_kbps`, ...) and accessors
+/// so call sites always say which unit they mean.
+class Rate {
+ public:
+  constexpr Rate() = default;
+
+  [[nodiscard]] static constexpr Rate from_bps(double bps) { return Rate{bps}; }
+  [[nodiscard]] static constexpr Rate from_kbps(double kbps) { return Rate{kbps * 1e3}; }
+  [[nodiscard]] static constexpr Rate from_mbps(double mbps) { return Rate{mbps * 1e6}; }
+  [[nodiscard]] static constexpr Rate from_gbps(double gbps) { return Rate{gbps * 1e9}; }
+  /// Bytes transferred over a wall-clock interval.
+  [[nodiscard]] static constexpr Rate from_bytes_per_sec(double bytes_per_sec) {
+    return Rate{bytes_per_sec * 8.0};
+  }
+
+  [[nodiscard]] constexpr double bps() const { return bps_; }
+  [[nodiscard]] constexpr double kbps() const { return bps_ / 1e3; }
+  [[nodiscard]] constexpr double mbps() const { return bps_ / 1e6; }
+  [[nodiscard]] constexpr double gbps() const { return bps_ / 1e9; }
+  [[nodiscard]] constexpr double bytes_per_sec() const { return bps_ / 8.0; }
+
+  [[nodiscard]] constexpr bool is_zero() const { return bps_ == 0.0; }
+
+  constexpr auto operator<=>(const Rate&) const = default;
+
+  constexpr Rate& operator+=(Rate other) {
+    bps_ += other.bps_;
+    return *this;
+  }
+  constexpr Rate& operator-=(Rate other) {
+    bps_ -= other.bps_;
+    return *this;
+  }
+  constexpr Rate& operator*=(double k) {
+    bps_ *= k;
+    return *this;
+  }
+  constexpr Rate& operator/=(double k) {
+    bps_ /= k;
+    return *this;
+  }
+
+  friend constexpr Rate operator+(Rate a, Rate b) { return Rate{a.bps_ + b.bps_}; }
+  friend constexpr Rate operator-(Rate a, Rate b) { return Rate{a.bps_ - b.bps_}; }
+  friend constexpr Rate operator*(Rate a, double k) { return Rate{a.bps_ * k}; }
+  friend constexpr Rate operator*(double k, Rate a) { return Rate{a.bps_ * k}; }
+  friend constexpr Rate operator/(Rate a, double k) { return Rate{a.bps_ / k}; }
+  /// Ratio of two rates (e.g. utilization = usage / capacity).
+  friend constexpr double operator/(Rate a, Rate b) { return a.bps_ / b.bps_; }
+
+  /// Human-readable rendering, e.g. "7.4 Mbps" or "512 kbps".
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  explicit constexpr Rate(double bps) : bps_{bps} {}
+  double bps_{0.0};
+};
+
+/// Monthly price in purchasing-power-parity-adjusted US dollars.
+///
+/// All monetary figures in the library are normalized to USD PPP at
+/// construction time (see market::Currency); this type documents that the
+/// normalization already happened.
+class MoneyPpp {
+ public:
+  constexpr MoneyPpp() = default;
+  [[nodiscard]] static constexpr MoneyPpp usd(double dollars) { return MoneyPpp{dollars}; }
+
+  [[nodiscard]] constexpr double dollars() const { return dollars_; }
+
+  constexpr auto operator<=>(const MoneyPpp&) const = default;
+
+  friend constexpr MoneyPpp operator+(MoneyPpp a, MoneyPpp b) {
+    return MoneyPpp{a.dollars_ + b.dollars_};
+  }
+  friend constexpr MoneyPpp operator-(MoneyPpp a, MoneyPpp b) {
+    return MoneyPpp{a.dollars_ - b.dollars_};
+  }
+  friend constexpr MoneyPpp operator*(MoneyPpp a, double k) { return MoneyPpp{a.dollars_ * k}; }
+  friend constexpr MoneyPpp operator*(double k, MoneyPpp a) { return MoneyPpp{a.dollars_ * k}; }
+  friend constexpr MoneyPpp operator/(MoneyPpp a, double k) { return MoneyPpp{a.dollars_ / k}; }
+  friend constexpr double operator/(MoneyPpp a, MoneyPpp b) { return a.dollars_ / b.dollars_; }
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  explicit constexpr MoneyPpp(double d) : dollars_{d} {}
+  double dollars_{0.0};
+};
+
+/// Byte counts. Plain integer alias — arithmetic on volumes is pervasive
+/// and a wrapper buys little here.
+using Bytes = std::uint64_t;
+
+inline constexpr Bytes kKiB = 1024;
+inline constexpr Bytes kMiB = 1024 * kKiB;
+inline constexpr Bytes kGiB = 1024 * kMiB;
+
+/// Convert a byte volume observed over `seconds` into an average rate.
+[[nodiscard]] constexpr Rate rate_over(double bytes, double seconds) {
+  return Rate::from_bytes_per_sec(seconds > 0 ? bytes / seconds : 0.0);
+}
+
+/// Round-trip latency in milliseconds.
+using Millis = double;
+
+/// Packet loss rate as a fraction in [0, 1].
+using LossRate = double;
+
+/// Format a byte count with binary suffix ("1.5 GiB").
+[[nodiscard]] std::string format_bytes(double bytes);
+
+}  // namespace bblab

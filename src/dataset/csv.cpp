@@ -1,0 +1,337 @@
+#include "dataset/csv.h"
+
+#include <cmath>
+#include <charconv>
+#include <ostream>
+#include <sstream>
+
+#include "core/error.h"
+
+namespace bblab::dataset {
+
+namespace {
+
+bool needs_quoting(const std::string& s) {
+  return s.find_first_of(",\"\n\r") != std::string::npos;
+}
+
+std::string quote(const std::string& s) {
+  std::string out = "\"";
+  for (const char ch : s) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+
+std::string fmt(double v) {
+  std::ostringstream os;
+  os.precision(12);
+  os << v;
+  return os.str();
+}
+
+double to_double(const std::string& s) {
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(s, &pos);
+    if (pos != s.size()) throw IoError{"csv: trailing characters in number: " + s};
+    return v;
+  } catch (const std::invalid_argument&) {
+    throw IoError{"csv: not a number: " + s};
+  } catch (const std::out_of_range&) {
+    throw IoError{"csv: number out of range: " + s};
+  }
+}
+
+std::uint64_t to_u64(const std::string& s) {
+  std::uint64_t v = 0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc{} || ptr != s.data() + s.size()) {
+    throw IoError{"csv: not an integer: " + s};
+  }
+  return v;
+}
+
+}  // namespace
+
+void CsvWriter::row(const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) out_ << ',';
+    out_ << (needs_quoting(fields[i]) ? quote(fields[i]) : fields[i]);
+  }
+  out_ << '\n';
+}
+
+std::vector<std::vector<std::string>> parse_csv(const std::string& text) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> row;
+  std::string field;
+  bool in_quotes = false;
+  bool field_started = false;
+
+  const auto end_field = [&] {
+    row.push_back(std::move(field));
+    field.clear();
+    field_started = false;
+  };
+  const auto end_row = [&] {
+    if (field_started || !field.empty() || !row.empty()) {
+      end_field();
+      rows.push_back(std::move(row));
+      row.clear();
+    }
+  };
+
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char ch = text[i];
+    if (in_quotes) {
+      if (ch == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field += ch;
+      }
+      continue;
+    }
+    switch (ch) {
+      case '"':
+        require(field.empty(), "csv: quote inside unquoted field");
+        in_quotes = true;
+        field_started = true;
+        break;
+      case ',':
+        end_field();
+        field_started = true;  // next field exists even if empty
+        break;
+      case '\r':
+        break;
+      case '\n':
+        end_row();
+        break;
+      default:
+        field += ch;
+        field_started = true;
+    }
+  }
+  if (in_quotes) throw IoError{"csv: unterminated quoted field"};
+  end_row();
+  return rows;
+}
+
+namespace {
+
+const std::vector<std::string> kUserHeader{
+    "user_id",     "source",       "country",     "region",       "year",
+    "capacity_mbps", "upload_mbps", "rtt_ms",     "loss",         "access_price",
+    "upgrade_cost", "plan_price",  "plan_mbps",   "cap_gib",      "gdp_pc",
+    "mean_down_kbps",
+    "peak_down_kbps", "mean_down_nobt_kbps", "peak_down_nobt_kbps", "mean_up_kbps",
+    "peak_up_kbps", "samples",     "samples_no_bt", "need_mbps",  "archetype",
+    "bt_user"};
+
+}  // namespace
+
+void write_user_records(std::ostream& out, const std::vector<UserRecord>& records) {
+  CsvWriter w{out};
+  w.row(kUserHeader);
+  for (const auto& r : records) {
+    w.row({std::to_string(r.user_id), source_label(r.source), r.country_code,
+           market::region_label(r.region), std::to_string(r.year),
+           fmt(r.capacity.mbps()), fmt(r.upload_capacity.mbps()), fmt(r.rtt_ms),
+           fmt(r.loss), fmt(r.access_price.dollars()), fmt(r.upgrade_cost_per_mbps),
+           fmt(r.plan_price.dollars()), fmt(r.plan_capacity.mbps()),
+           fmt(static_cast<double>(r.monthly_cap) / static_cast<double>(kGiB)),
+           fmt(r.gdp_per_capita_ppp), fmt(r.usage.mean_down.kbps()),
+           fmt(r.usage.peak_down.kbps()), fmt(r.usage.mean_down_no_bt.kbps()),
+           fmt(r.usage.peak_down_no_bt.kbps()), fmt(r.usage.mean_up.kbps()),
+           fmt(r.usage.peak_up.kbps()), std::to_string(r.usage.samples),
+           std::to_string(r.usage.samples_no_bt), fmt(r.true_need_mbps),
+           behavior::archetype_label(r.archetype), r.bt_user ? "1" : "0"});
+  }
+}
+
+std::vector<UserRecord> read_user_records(const std::string& csv_text) {
+  const auto rows = parse_csv(csv_text);
+  require(!rows.empty(), "read_user_records: empty csv");
+  require(rows.front() == kUserHeader, "read_user_records: unexpected header");
+
+  std::vector<UserRecord> records;
+  records.reserve(rows.size() - 1);
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    const auto& f = rows[i];
+    if (f.size() != kUserHeader.size()) {
+      throw IoError{"read_user_records: wrong field count in row " + std::to_string(i)};
+    }
+    UserRecord r;
+    r.user_id = to_u64(f[0]);
+    r.source = f[1] == "fcc" ? Source::kFcc : Source::kDasu;
+    r.country_code = f[2];
+    for (const auto region : market::table5_regions()) {
+      if (market::region_label(region) == f[3]) r.region = region;
+    }
+    if (f[3] == market::region_label(market::Region::kOceania)) {
+      r.region = market::Region::kOceania;
+    }
+    r.year = static_cast<int>(to_u64(f[4]));
+    r.capacity = Rate::from_mbps(to_double(f[5]));
+    r.upload_capacity = Rate::from_mbps(to_double(f[6]));
+    r.rtt_ms = to_double(f[7]);
+    r.loss = to_double(f[8]);
+    r.access_price = MoneyPpp::usd(to_double(f[9]));
+    r.upgrade_cost_per_mbps = to_double(f[10]);
+    r.plan_price = MoneyPpp::usd(to_double(f[11]));
+    r.plan_capacity = Rate::from_mbps(to_double(f[12]));
+    r.monthly_cap = static_cast<Bytes>(
+        std::llround(to_double(f[13]) * static_cast<double>(kGiB)));
+    r.gdp_per_capita_ppp = to_double(f[14]);
+    r.usage.mean_down = Rate::from_kbps(to_double(f[15]));
+    r.usage.peak_down = Rate::from_kbps(to_double(f[16]));
+    r.usage.mean_down_no_bt = Rate::from_kbps(to_double(f[17]));
+    r.usage.peak_down_no_bt = Rate::from_kbps(to_double(f[18]));
+    r.usage.mean_up = Rate::from_kbps(to_double(f[19]));
+    r.usage.peak_up = Rate::from_kbps(to_double(f[20]));
+    r.usage.samples = to_u64(f[21]);
+    r.usage.samples_no_bt = to_u64(f[22]);
+    r.true_need_mbps = to_double(f[23]);
+    for (const auto a : behavior::all_archetypes()) {
+      if (behavior::archetype_label(a) == f[24]) r.archetype = a;
+    }
+    r.bt_user = f[25] == "1";
+    records.push_back(std::move(r));
+  }
+  return records;
+}
+
+namespace {
+const std::vector<std::string> kPlanHeader{
+    "isp", "country", "down_mbps", "up_mbps", "price", "cap_gib", "tech", "dedicated"};
+}
+
+void write_plans(std::ostream& out, const std::vector<market::ServicePlan>& plans) {
+  CsvWriter w{out};
+  w.row(kPlanHeader);
+  for (const auto& p : plans) {
+    w.row({p.isp, p.country_code, fmt(p.download.mbps()), fmt(p.upload.mbps()),
+           fmt(p.monthly_price.dollars()),
+           p.monthly_cap ? fmt(static_cast<double>(*p.monthly_cap) /
+                               static_cast<double>(kGiB))
+                         : "",
+           market::tech_label(p.tech), p.dedicated ? "1" : "0"});
+  }
+}
+
+std::vector<market::ServicePlan> read_plans(const std::string& csv_text) {
+  const auto rows = parse_csv(csv_text);
+  require(!rows.empty(), "read_plans: empty csv");
+  require(rows.front() == kPlanHeader, "read_plans: unexpected header");
+  std::vector<market::ServicePlan> plans;
+  plans.reserve(rows.size() - 1);
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    const auto& f = rows[i];
+    if (f.size() != kPlanHeader.size()) {
+      throw IoError{"read_plans: wrong field count in row " + std::to_string(i)};
+    }
+    market::ServicePlan p;
+    p.isp = f[0];
+    p.country_code = f[1];
+    p.download = Rate::from_mbps(to_double(f[2]));
+    p.upload = Rate::from_mbps(to_double(f[3]));
+    p.monthly_price = MoneyPpp::usd(to_double(f[4]));
+    if (!f[5].empty()) {
+      p.monthly_cap = static_cast<Bytes>(std::llround(to_double(f[5]))) * kGiB;
+    }
+    for (const auto tech :
+         {market::AccessTech::kDsl, market::AccessTech::kCable, market::AccessTech::kFiber,
+          market::AccessTech::kFixedWireless, market::AccessTech::kSatellite}) {
+      if (market::tech_label(tech) == f[6]) p.tech = tech;
+    }
+    p.dedicated = f[7] == "1";
+    plans.push_back(std::move(p));
+  }
+  return plans;
+}
+
+namespace {
+
+const std::vector<std::string> kUpgradeHeader{
+    "user_id", "country", "year", "old_mbps", "new_mbps", "old_price", "new_price",
+    "b_mean_kbps", "b_peak_kbps", "b_mean_nobt_kbps", "b_peak_nobt_kbps",
+    "b_mean_up_kbps", "b_peak_up_kbps", "b_samples", "b_samples_nobt",
+    "a_mean_kbps", "a_peak_kbps", "a_mean_nobt_kbps", "a_peak_nobt_kbps",
+    "a_mean_up_kbps", "a_peak_up_kbps", "a_samples", "a_samples_nobt"};
+
+void append_summary(std::vector<std::string>& row,
+                    const measurement::UsageSummary& s) {
+  row.push_back(fmt(s.mean_down.kbps()));
+  row.push_back(fmt(s.peak_down.kbps()));
+  row.push_back(fmt(s.mean_down_no_bt.kbps()));
+  row.push_back(fmt(s.peak_down_no_bt.kbps()));
+  row.push_back(fmt(s.mean_up.kbps()));
+  row.push_back(fmt(s.peak_up.kbps()));
+  row.push_back(std::to_string(s.samples));
+  row.push_back(std::to_string(s.samples_no_bt));
+}
+
+measurement::UsageSummary parse_summary(const std::vector<std::string>& f,
+                                        std::size_t at) {
+  measurement::UsageSummary s;
+  s.mean_down = Rate::from_kbps(to_double(f[at]));
+  s.peak_down = Rate::from_kbps(to_double(f[at + 1]));
+  s.mean_down_no_bt = Rate::from_kbps(to_double(f[at + 2]));
+  s.peak_down_no_bt = Rate::from_kbps(to_double(f[at + 3]));
+  s.mean_up = Rate::from_kbps(to_double(f[at + 4]));
+  s.peak_up = Rate::from_kbps(to_double(f[at + 5]));
+  s.samples = to_u64(f[at + 6]);
+  s.samples_no_bt = to_u64(f[at + 7]);
+  return s;
+}
+
+}  // namespace
+
+void write_upgrades(std::ostream& out, const std::vector<UpgradeObservation>& upgrades) {
+  CsvWriter w{out};
+  w.row(kUpgradeHeader);
+  for (const auto& u : upgrades) {
+    std::vector<std::string> row{std::to_string(u.user_id), u.country_code,
+                                 std::to_string(u.year), fmt(u.old_capacity.mbps()),
+                                 fmt(u.new_capacity.mbps()), fmt(u.old_price.dollars()),
+                                 fmt(u.new_price.dollars())};
+    append_summary(row, u.before);
+    append_summary(row, u.after);
+    w.row(row);
+  }
+}
+
+std::vector<UpgradeObservation> read_upgrades(const std::string& csv_text) {
+  const auto rows = parse_csv(csv_text);
+  require(!rows.empty(), "read_upgrades: empty csv");
+  require(rows.front() == kUpgradeHeader, "read_upgrades: unexpected header");
+  std::vector<UpgradeObservation> out;
+  out.reserve(rows.size() - 1);
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    const auto& f = rows[i];
+    if (f.size() != kUpgradeHeader.size()) {
+      throw IoError{"read_upgrades: wrong field count in row " + std::to_string(i)};
+    }
+    UpgradeObservation u;
+    u.user_id = to_u64(f[0]);
+    u.country_code = f[1];
+    u.year = static_cast<int>(to_u64(f[2]));
+    u.old_capacity = Rate::from_mbps(to_double(f[3]));
+    u.new_capacity = Rate::from_mbps(to_double(f[4]));
+    u.old_price = MoneyPpp::usd(to_double(f[5]));
+    u.new_price = MoneyPpp::usd(to_double(f[6]));
+    u.before = parse_summary(f, 7);
+    u.after = parse_summary(f, 15);
+    out.push_back(std::move(u));
+  }
+  return out;
+}
+
+}  // namespace bblab::dataset

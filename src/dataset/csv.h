@@ -1,0 +1,44 @@
+// CSV import/export for the generated datasets.
+//
+// The benches and examples can persist datasets so downstream tooling
+// (plotting scripts, spreadsheets) can consume them, and regression tests
+// round-trip records through the format. RFC-4180-style quoting.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "dataset/user_record.h"
+#include "market/plan.h"
+
+namespace bblab::dataset {
+
+/// Minimal CSV encoder: quotes fields containing separators/quotes.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& out) : out_{out} {}
+
+  void row(const std::vector<std::string>& fields);
+
+ private:
+  std::ostream& out_;
+};
+
+/// Parse CSV content into rows of fields (handles quoted fields with
+/// embedded commas/newlines). Throws IoError on malformed input.
+[[nodiscard]] std::vector<std::vector<std::string>> parse_csv(const std::string& text);
+
+/// User records <-> CSV.
+void write_user_records(std::ostream& out, const std::vector<UserRecord>& records);
+[[nodiscard]] std::vector<UserRecord> read_user_records(const std::string& csv_text);
+
+/// Plan catalogs <-> CSV.
+void write_plans(std::ostream& out, const std::vector<market::ServicePlan>& plans);
+[[nodiscard]] std::vector<market::ServicePlan> read_plans(const std::string& csv_text);
+
+/// Upgrade observations <-> CSV.
+void write_upgrades(std::ostream& out, const std::vector<UpgradeObservation>& upgrades);
+[[nodiscard]] std::vector<UpgradeObservation> read_upgrades(const std::string& csv_text);
+
+}  // namespace bblab::dataset

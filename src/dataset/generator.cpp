@@ -1,0 +1,386 @@
+#include "dataset/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "behavior/caps.h"
+#include "core/error.h"
+#include "core/logging.h"
+#include "netsim/fluid.h"
+
+namespace bblab::dataset {
+
+using behavior::Archetype;
+using behavior::ArchetypeMix;
+using behavior::DemandModel;
+using behavior::SubscriberContext;
+using market::Household;
+using market::PlanCatalog;
+using market::ServicePlan;
+using netsim::AccessLink;
+
+std::vector<const UserRecord*> StudyDataset::dasu_in(const std::string& country) const {
+  std::vector<const UserRecord*> out;
+  for (const auto& r : dasu) {
+    if (r.country_code == country) out.push_back(&r);
+  }
+  return out;
+}
+
+StudyGenerator::StudyGenerator(const market::World& world, StudyConfig config)
+    : world_{world}, config_{config} {
+  require(config_.population_scale > 0.0, "StudyGenerator: population_scale > 0");
+  require(config_.window_days > 0.0, "StudyGenerator: window_days > 0");
+  require(config_.last_year >= config_.first_year, "StudyGenerator: bad year range");
+}
+
+namespace {
+
+/// Assign line quality for a subscriber in this country: wireline users
+/// draw around the country's base RTT/loss; the wireless/satellite share
+/// draws from a much worse regime (the paper traces its very-high-latency
+/// and very-high-loss tails to exactly those technologies).
+AccessLink make_link(const market::CountryProfile& country, const ServicePlan& plan,
+                     Rng& rng) {
+  AccessLink link;
+  // Provisioned rate vs advertised rate: DSL sync rates degrade with loop
+  // length, cable nodes are shared, fiber delivers what it says. This is
+  // why the paper works with the *measured* maximum capacity rather than
+  // the advertised tier.
+  double sync = 1.0;
+  switch (plan.tech) {
+    case market::AccessTech::kDsl: sync = rng.uniform(0.65, 1.0); break;
+    case market::AccessTech::kCable: sync = rng.uniform(0.85, 1.05); break;
+    case market::AccessTech::kFiber: sync = rng.uniform(0.95, 1.02); break;
+    case market::AccessTech::kFixedWireless: sync = rng.uniform(0.5, 1.0); break;
+    case market::AccessTech::kSatellite: sync = rng.uniform(0.5, 1.0); break;
+  }
+  link.down = plan.download * sync;
+  link.up = plan.upload * std::min(1.0, sync * rng.uniform(0.95, 1.1));
+  const bool wireless = plan.tech == market::AccessTech::kFixedWireless ||
+                        plan.tech == market::AccessTech::kSatellite ||
+                        rng.bernoulli(country.wireless_share * 0.8);
+  if (wireless) {
+    const bool satellite = rng.bernoulli(0.25);
+    const double base = satellite ? 650.0 : country.base_rtt_ms * 2.2;
+    link.rtt_ms = rng.lognormal(std::log(base), 0.35);
+    link.loss = std::min(0.3, rng.lognormal(std::log(std::max(
+                                  0.004, country.base_loss * 4.0)),
+                              0.9));
+  } else {
+    link.rtt_ms = rng.lognormal(std::log(country.base_rtt_ms), country.rtt_log_sigma);
+    link.loss =
+        std::min(0.3, rng.lognormal(std::log(country.base_loss), country.loss_log_sigma));
+  }
+  link.rtt_ms = std::clamp(link.rtt_ms, 3.0, 3000.0);
+  return link;
+}
+
+/// Simulation toolkit shared across the generation loops.
+struct Toolkit {
+  SimClock clock{2011};
+  netsim::DiurnalModel diurnal;
+  netsim::TcpModel tcp{};
+  netsim::WorkloadGenerator workload;
+  measurement::NdtProbe ndt{};
+  measurement::DasuCollector dasu_collector;
+  measurement::GatewayCollector gateway{};
+
+  explicit Toolkit(int epoch_year)
+      : clock{epoch_year},
+        diurnal{netsim::DiurnalParams{}, clock},
+        workload{diurnal, tcp},
+        dasu_collector{measurement::DasuCollectorParams{}, diurnal} {}
+};
+
+/// Simulate one observation window and summarize it through a collector.
+measurement::UsageSummary observe(const Toolkit& kit, const StudyConfig& config,
+                                  const AccessLink& link,
+                                  const netsim::WorkloadParams& wp, SimTime t0,
+                                  double window_days, double bin_s, bool gateway,
+                                  Rng& rng) {
+  const auto bins =
+      static_cast<std::size_t>(std::round(window_days * kDay / bin_s));
+  const SimTime t1 = t0 + static_cast<double>(bins) * bin_s;
+  const auto flows = kit.workload.generate(wp, link, t0, t1, rng);
+  const netsim::FluidLinkSimulator sim{link, kit.tcp};
+  const auto truth = sim.run(flows, t0, bins, bin_s);
+  const auto series = gateway ? kit.gateway.collect(truth)
+                              : kit.dasu_collector.collect(truth, wp.phase_shift_hours, rng);
+  (void)config;
+  return measurement::summarize(series);
+}
+
+}  // namespace
+
+std::map<std::string, MarketSnapshot> StudyGenerator::build_markets(Rng& rng) const {
+  std::map<std::string, MarketSnapshot> markets;
+  for (const auto& country : world_.countries()) {
+    Rng market_rng = rng.fork(std::hash<std::string>{}(country.code));
+    MarketSnapshot snap;
+    snap.country = &country;
+    snap.catalog = PlanCatalog::generate(country, market_rng);
+
+    // Probe households for willingness-to-pay calibration.
+    std::vector<Household> probes;
+    probes.reserve(256);
+    for (int i = 0; i < 256; ++i) probes.push_back(sample_household(country, market_rng));
+    snap.choice = market::ChoiceModel::calibrated(country, snap.catalog, probes);
+
+    snap.access_price = snap.catalog.access_price().value_or(country.access_price);
+    const auto fit = snap.catalog.price_capacity_fit();
+    snap.price_capacity_r = fit.r;
+    snap.upgrade_cost_per_mbps = fit.r > 0.4
+                                     ? fit.slope
+                                     : std::numeric_limits<double>::quiet_NaN();
+    markets.emplace(country.code, std::move(snap));
+  }
+  return markets;
+}
+
+StudyDataset StudyGenerator::generate() const {
+  Rng root{config_.seed};
+  StudyDataset ds;
+  ds.config = config_;
+  ds.markets = build_markets(root);
+
+  Toolkit kit{config_.first_year};
+  behavior::DemandModelParams demand_params;
+  demand_params.capacity_effect = !config_.disable_capacity_effect;
+  demand_params.pressure_effect = !config_.disable_pressure_effect;
+  demand_params.quality_effect = !config_.disable_quality_effect;
+  DemandModel demand{demand_params};
+  if (config_.placebo) demand = demand.placebo();
+
+  const int years = config_.last_year - config_.first_year + 1;
+  std::uint64_t next_user_id = 1;
+
+  for (const auto& country : world_.countries()) {
+    const MarketSnapshot& snap = ds.markets.at(country.code);
+    if (snap.catalog.empty()) continue;
+    Rng country_rng = root.fork(0x5151 ^ std::hash<std::string>{}(country.code));
+
+    for (int yi = 0; yi < years; ++yi) {
+      const int year = config_.first_year + yi;
+      const double growth = std::pow(config_.annual_subscriber_growth, yi);
+      const auto n_users = static_cast<std::size_t>(
+          std::max(1.0, std::round(country.sample_weight * config_.population_scale *
+                                   growth)));
+      // Center need growth on the middle study year so the pooled capacity
+      // distribution matches the country anchors the choice model was
+      // calibrated against.
+      const double need_scale = std::pow(
+          config_.annual_need_growth,
+          static_cast<double>(yi) - static_cast<double>(years - 1) / 2.0);
+
+      for (std::size_t u = 0; u < n_users; ++u) {
+        Rng rng = country_rng.fork(next_user_id);
+        const std::uint64_t user_id = next_user_id++;
+
+        const Archetype archetype = ArchetypeMix::dasu().sample(rng);
+        Household household = sample_household(country, rng, need_scale);
+        const auto plan_opt = snap.choice.choose(household, snap.catalog);
+        if (!plan_opt) continue;
+        const ServicePlan plan = *plan_opt;
+        const AccessLink link = make_link(country, plan, rng);
+
+        SubscriberContext ctx;
+        ctx.archetype = archetype;
+        ctx.need_mbps = household.need_mbps;
+        ctx.link = link;
+        ctx.bt_user = behavior::traits_of(archetype).bt_sessions_per_day > 0.0;
+
+        const double noise =
+            std::exp(rng.normal(0.0, demand.params().intensity_log_sigma));
+        const double phase = rng.normal(0.0, 1.5);
+        auto wp = demand.workload_params(ctx, noise, phase);
+        if (plan.monthly_cap) {
+          behavior::apply_cap(wp, link, *plan.monthly_cap,
+                              kit.workload.constants(), kit.tcp);
+        }
+
+        // A random full-day-aligned window inside this study year.
+        const double year_base = static_cast<double>(yi) * kYear;
+        const double max_day = kYear / kDay - config_.window_days - 1.0;
+        const SimTime t0 =
+            year_base + std::floor(rng.uniform(0.0, max_day)) * kDay;
+
+        const auto summary = observe(kit, config_, link, wp, t0, config_.window_days,
+                                     config_.dasu_bin_s, /*gateway=*/false, rng);
+        const auto probe = kit.ndt.characterize(link, rng);
+
+        UserRecord rec;
+        rec.user_id = user_id;
+        rec.source = Source::kDasu;
+        rec.country_code = country.code;
+        rec.region = country.region;
+        rec.year = year;
+        rec.capacity = probe.download;
+        rec.upload_capacity = probe.upload;
+        rec.rtt_ms = probe.rtt_ms;
+        rec.loss = probe.loss;
+        rec.access_price = snap.access_price;
+        rec.upgrade_cost_per_mbps = snap.upgrade_cost_per_mbps;
+        rec.plan_price = plan.monthly_price;
+        rec.plan_capacity = plan.download;
+        rec.monthly_cap = plan.monthly_cap.value_or(0);
+        rec.gdp_per_capita_ppp = country.gdp_per_capita_ppp;
+        rec.usage = summary;
+        rec.true_need_mbps = household.need_mbps;
+        rec.archetype = archetype;
+        rec.bt_user = ctx.bt_user;
+        ds.dasu.push_back(std::move(rec));
+
+        // Upgrade follow-up: evolve this household one year forward and,
+        // if it switched to a faster plan, observe it again on the new
+        // service with the same idiosyncrasies.
+        if (rng.bernoulli(config_.upgrade_follow_share)) {
+          const market::UpgradeModel upgrades{
+              snap.choice,
+              market::UpgradePolicy{.annual_need_growth = config_.annual_need_growth}};
+          Household future = household;
+          const auto events = upgrades.evolve(future, plan, snap.catalog, year,
+                                              config_.upgrade_horizon_years, rng);
+          std::optional<ServicePlan> switched;
+          int switch_year = year + 1;
+          if (!events.empty() && events.front().is_upgrade()) {
+            switched = events.front().new_plan;
+            switch_year = events.front().year;
+          } else if (rng.bernoulli(config_.exogenous_upgrade_share *
+                                   std::clamp(2.0 / std::sqrt(plan.download.mbps()),
+                                              0.25, 1.0))) {
+            // Slow services churn more (they are the ones promotions and
+            // line re-grades target), which also matches the paper's
+            // switcher population: its median "slow network" usage sits
+            // in the hundred-kbps range.
+            // Exogenous one-tier bump: the cheapest wireline plan strictly
+            // faster than the current one (moving house, ISP promotion...).
+            const ServicePlan* next = nullptr;
+            for (const auto& candidate : snap.catalog.plans()) {
+              if (candidate.download <= plan.download) continue;
+              if (candidate.tech == market::AccessTech::kFixedWireless ||
+                  candidate.tech == market::AccessTech::kSatellite ||
+                  candidate.dedicated) {
+                continue;
+              }
+              const bool better =
+                  next == nullptr || candidate.download < next->download ||
+                  (candidate.download == next->download &&
+                   candidate.monthly_price < next->monthly_price);
+              if (better) next = &candidate;
+            }
+            if (next != nullptr) switched = *next;
+          }
+          if (switched) {
+            const ServicePlan& new_plan = *switched;
+            AccessLink new_link = link;  // same line quality, faster service
+            new_link.down = new_plan.download;
+            new_link.up = new_plan.upload;
+
+            SubscriberContext after_ctx = ctx;
+            after_ctx.need_mbps = future.need_mbps;
+            after_ctx.link = new_link;
+            const auto after_wp = demand.workload_params(after_ctx, noise, phase);
+            // Also re-observe "before" behavior with the grown need so the
+            // pair isolates the capacity change from need growth.
+            SubscriberContext before_ctx = after_ctx;
+            before_ctx.link = link;
+            const auto before_wp = demand.workload_params(before_ctx, noise, phase);
+
+            const SimTime t_before =
+                t0 + kYear;  // same point in the following year
+            const SimTime t_after = t_before + 14.0 * kDay;
+            UpgradeObservation obs;
+            obs.user_id = user_id;
+            obs.country_code = country.code;
+            obs.year = switch_year;
+            obs.old_capacity = plan.download;
+            obs.new_capacity = new_plan.download;
+            obs.old_price = plan.monthly_price;
+            obs.new_price = new_plan.monthly_price;
+            obs.before = observe(kit, config_, link, before_wp, t_before,
+                                 config_.window_days, config_.dasu_bin_s,
+                                 /*gateway=*/false, rng);
+            obs.after = observe(kit, config_, new_link, after_wp, t_after,
+                                config_.window_days, config_.dasu_bin_s,
+                                /*gateway=*/false, rng);
+            ds.upgrades.push_back(std::move(obs));
+          }
+        }
+      }
+      log_debug("generated ", country.code, " year ", year, ": ", n_users, " users");
+    }
+  }
+
+  // FCC panel: US households on gateway instruments, spread across years.
+  {
+    const auto& us = world_.contains("US") ? world_.at("US") : world_.countries().front();
+    const MarketSnapshot& snap = ds.markets.at(us.code);
+    Rng fcc_rng = root.fork(0xFCC);
+    const auto per_year = std::max<std::size_t>(
+        1, config_.fcc_users / static_cast<std::size_t>(years));
+    for (int yi = 0; yi < years; ++yi) {
+      const double need_scale = std::pow(
+          config_.annual_need_growth,
+          static_cast<double>(yi) - static_cast<double>(years - 1) / 2.0);
+      for (std::size_t u = 0; u < per_year; ++u) {
+        Rng rng = fcc_rng.fork(next_user_id);
+        const std::uint64_t user_id = next_user_id++;
+        const Archetype archetype = ArchetypeMix::fcc().sample(rng);
+        Household household = sample_household(us, rng, need_scale);
+        const auto plan_opt = snap.choice.choose(household, snap.catalog);
+        if (!plan_opt) continue;
+        const ServicePlan plan = *plan_opt;
+        const AccessLink link = make_link(us, plan, rng);
+
+        SubscriberContext ctx;
+        ctx.archetype = archetype;
+        ctx.need_mbps = household.need_mbps;
+        ctx.link = link;
+        ctx.bt_user = behavior::traits_of(archetype).bt_sessions_per_day > 0.0;
+        auto wp = demand.workload_params(ctx, rng);
+        if (plan.monthly_cap) {
+          behavior::apply_cap(wp, link, *plan.monthly_cap,
+                              kit.workload.constants(), kit.tcp);
+        }
+
+        const double year_base = static_cast<double>(yi) * kYear;
+        const double max_day = kYear / kDay - config_.fcc_window_days - 1.0;
+        const SimTime t0 = year_base + std::floor(rng.uniform(0.0, max_day)) * kDay;
+        const auto summary =
+            observe(kit, config_, link, wp, t0, config_.fcc_window_days,
+                    config_.dasu_bin_s, /*gateway=*/true, rng);
+        const auto probe = kit.ndt.characterize(link, rng);
+
+        UserRecord rec;
+        rec.user_id = user_id;
+        rec.source = Source::kFcc;
+        rec.country_code = us.code;
+        rec.region = us.region;
+        rec.year = config_.first_year + yi;
+        rec.capacity = probe.download;
+        rec.upload_capacity = probe.upload;
+        rec.rtt_ms = probe.rtt_ms;
+        rec.loss = probe.loss;
+        rec.access_price = snap.access_price;
+        rec.upgrade_cost_per_mbps = snap.upgrade_cost_per_mbps;
+        rec.plan_price = plan.monthly_price;
+        rec.plan_capacity = plan.download;
+        rec.monthly_cap = plan.monthly_cap.value_or(0);
+        rec.gdp_per_capita_ppp = us.gdp_per_capita_ppp;
+        rec.usage = summary;
+        rec.true_need_mbps = household.need_mbps;
+        rec.archetype = archetype;
+        rec.bt_user = ctx.bt_user;
+        ds.fcc.push_back(std::move(rec));
+      }
+    }
+  }
+
+  log_info("dataset: ", ds.dasu.size(), " dasu users, ", ds.fcc.size(),
+           " fcc users, ", ds.upgrades.size(), " upgrade pairs");
+  return ds;
+}
+
+}  // namespace bblab::dataset

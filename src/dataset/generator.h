@@ -1,0 +1,106 @@
+// Study dataset generation: the orchestrator that stands in for 23 months
+// of global measurement.
+//
+// For each country the generator (1) synthesizes the retail plan catalog,
+// (2) calibrates a choice model to the market, (3) draws households and
+// lets them pick plans, (4) assigns line quality, (5) synthesizes traffic
+// through the fluid simulator, and (6) observes it through the Dasu or
+// FCC instruments. A subset of households additionally evolves through
+// the upgrade model and is observed before and after switching — the
+// within-user natural experiment of §3.2. Cross-sections are generated
+// for each study year with growing populations and needs but a
+// year-invariant demand model (the §4 ground truth).
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "behavior/demand.h"
+#include "core/rng.h"
+#include "dataset/user_record.h"
+#include "market/catalog.h"
+#include "market/choice.h"
+#include "market/country.h"
+#include "market/upgrade.h"
+#include "measurement/collectors.h"
+#include "measurement/ndt.h"
+#include "netsim/workload.h"
+
+namespace bblab::dataset {
+
+/// Per-country market state shared by generation and analysis.
+struct MarketSnapshot {
+  const market::CountryProfile* country{nullptr};
+  market::PlanCatalog catalog;
+  market::ChoiceModel choice{1.0};
+  MoneyPpp access_price;             ///< cheapest >= 1 Mbps
+  double upgrade_cost_per_mbps{0.0}; ///< regression slope (NaN if r <= 0.4)
+  double price_capacity_r{0.0};      ///< Pearson r of price vs capacity
+};
+
+struct StudyConfig {
+  std::uint64_t seed{42};
+  /// Scales every country's vantage-point count (1.0 ~ 12k Dasu users).
+  double population_scale{1.0};
+  /// Observation window per user-year.
+  double window_days{3.0};
+  double dasu_bin_s{30.0};
+  /// FCC panel size (US gateways) and window.
+  std::size_t fcc_users{800};
+  double fcc_window_days{7.0};
+  /// Study years (cross-section per year).
+  int first_year{2011};
+  int last_year{2013};
+  /// Fraction of Dasu users also observed after a service change.
+  double upgrade_follow_share{0.35};
+  /// Years of market evolution a followed user is given to switch.
+  int upgrade_horizon_years{2};
+  /// When the choice model produced no upgrade for a followed user, the
+  /// probability that an exogenous event (moving house, an ISP promotion,
+  /// a line re-grade) bumps them one tier anyway. Exogenous switches are
+  /// as-good-as-random treatment assignment — exactly what the paper's
+  /// natural-experiment design wants to exploit.
+  double exogenous_upgrade_share{0.5};
+  /// Population-level annual growth of subscriber counts.
+  double annual_subscriber_growth{1.18};
+  /// Annual growth of household needs (drives tier migration, not
+  /// within-tier demand).
+  double annual_need_growth{1.32};
+  /// Generate with all causal effects disabled (falsification runs).
+  bool placebo{false};
+  /// Fine-grained ablation switches (ignored when `placebo` is set, which
+  /// disables everything).
+  bool disable_capacity_effect{false};
+  bool disable_pressure_effect{false};
+  bool disable_quality_effect{false};
+};
+
+/// Everything the analysis layer consumes.
+struct StudyDataset {
+  StudyConfig config;
+  std::vector<UserRecord> dasu;          ///< global end-host records
+  std::vector<UserRecord> fcc;           ///< US gateway records
+  std::vector<UpgradeObservation> upgrades;
+  std::map<std::string, MarketSnapshot> markets;  ///< by country code
+
+  [[nodiscard]] std::vector<const UserRecord*> dasu_in(const std::string& country) const;
+};
+
+class StudyGenerator {
+ public:
+  StudyGenerator(const market::World& world, StudyConfig config);
+
+  /// Generate the full dataset. Deterministic in config.seed.
+  [[nodiscard]] StudyDataset generate() const;
+
+  /// Build only the market snapshots (fast; used by market-only benches).
+  [[nodiscard]] std::map<std::string, MarketSnapshot> build_markets(Rng& rng) const;
+
+ private:
+  struct SimContext;  // internal helpers defined in the .cpp
+
+  const market::World& world_;
+  StudyConfig config_;
+};
+
+}  // namespace bblab::dataset

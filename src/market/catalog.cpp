@@ -1,0 +1,194 @@
+#include "market/catalog.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "core/error.h"
+
+namespace bblab::market {
+
+PlanCatalog::PlanCatalog(std::vector<ServicePlan> plans) : plans_{std::move(plans)} {}
+
+namespace {
+
+/// ISP names are synthetic but stable per country so joins are readable.
+std::string isp_name(const CountryProfile& country, std::size_t index) {
+  static constexpr const char* kSuffixes[] = {"Telecom", "Net", "Broadband", "Online",
+                                              "Connect", "Fiber", "Wave", "Link"};
+  return country.code + std::string{kSuffixes[index % std::size(kSuffixes)]};
+}
+
+/// The wireline price model: approximately linear in capacity above 1 Mbps,
+/// discounted below it, with multiplicative log-normal noise.
+MoneyPpp wireline_price(const CountryProfile& country, double mbps, Rng& rng) {
+  const double base = country.access_price.dollars();
+  double price = mbps >= 1.0 ? base + country.upgrade_cost_per_mbps * (mbps - 1.0)
+                             : base * (0.55 + 0.45 * mbps);
+  price *= std::exp(rng.normal(0.0, country.price_noise_sigma));
+  return MoneyPpp::usd(std::max(price, 1.0));
+}
+
+AccessTech wireline_tech(double mbps, Rng& rng) {
+  if (mbps >= 40.0) return rng.bernoulli(0.6) ? AccessTech::kFiber : AccessTech::kCable;
+  // Mid tiers are mostly cable/VDSL territory: long-loop ADSL cannot sync
+  // well above 10 Mbps, which also keeps measured capacities near the
+  // advertised tier for these plans.
+  if (mbps >= 8.0) return rng.bernoulli(0.7) ? AccessTech::kCable : AccessTech::kDsl;
+  return rng.bernoulli(0.75) ? AccessTech::kDsl : AccessTech::kCable;
+}
+
+}  // namespace
+
+PlanCatalog PlanCatalog::generate(const CountryProfile& country, Rng& rng) {
+  std::vector<ServicePlan> plans;
+
+  // Capacity ladder: doubling rungs up to the market's top speed, starting
+  // no lower than 1/128 of the top (markets selling 100 Mbps cable had
+  // retired 256 kbps DSL tiers by the study period).
+  const double top = country.max_capacity.mbps();
+  require(top > 0.0, "PlanCatalog: market max capacity must be positive");
+  // The entry tier sits no lower than ~1/128 of the market's top speed
+  // (carriers retire tiers their base has outgrown) and, in low-capacity
+  // markets, no lower than half the typical tier — but never above
+  // 512 kbps from that rule, so rich markets keep their legacy DSL tail.
+  double rung = std::max(
+      {0.25, top / 128.0, std::min(country.typical_capacity.mbps() / 2.0, 0.5)});
+  rung = std::min(rung, top);
+  std::vector<double> ladder;
+  while (rung < top) {
+    ladder.push_back(rung);
+    rung *= 2.0;
+  }
+  ladder.push_back(top);
+
+  // Wireline plans: one to three ISPs per rung.
+  std::size_t isp_counter = 0;
+  for (const double mbps : ladder) {
+    const auto isps = static_cast<std::size_t>(rng.uniform_int(1, 3));
+    for (std::size_t i = 0; i < isps; ++i) {
+      ServicePlan plan;
+      plan.isp = isp_name(country, isp_counter++);
+      plan.country_code = country.code;
+      plan.download = Rate::from_mbps(mbps);
+      plan.upload = Rate::from_mbps(std::max(0.128, mbps / rng.uniform(4.0, 12.0)));
+      plan.monthly_price = wireline_price(country, mbps, rng);
+      plan.tech = wireline_tech(mbps, rng);
+      if (rng.bernoulli(0.15)) {
+        plan.monthly_cap = static_cast<Bytes>(rng.uniform(50.0, 500.0)) * kGiB;
+      }
+      plans.push_back(std::move(plan));
+    }
+  }
+
+  // Flat-priced wireless/satellite plans: price tracks the data cap, not
+  // the nominal speed, which dilutes the market's price-capacity
+  // correlation in proportion to the wireless share.
+  const auto wireless_count =
+      static_cast<std::size_t>(std::round(country.wireless_share * 14.0));
+  for (std::size_t i = 0; i < wireless_count; ++i) {
+    ServicePlan plan;
+    plan.isp = isp_name(country, isp_counter++) + " Mobile";
+    plan.country_code = country.code;
+    const double mbps = rng.uniform(0.5, std::min(top, 12.0));
+    plan.download = Rate::from_mbps(mbps);
+    plan.upload = Rate::from_mbps(mbps / 4.0);
+    // Priced near (somewhat above) the market's access price regardless of
+    // nominal speed — wireless data does not undercut wireline in these
+    // markets, it competes on availability.
+    plan.monthly_price = MoneyPpp::usd(country.access_price.dollars() * 1.25 *
+                                       std::exp(rng.normal(0.0, 0.22)));
+    plan.tech = rng.bernoulli(0.8) ? AccessTech::kFixedWireless : AccessTech::kSatellite;
+    plan.monthly_cap = static_cast<Bytes>(rng.uniform(5.0, 60.0)) * kGiB;
+    plans.push_back(std::move(plan));
+  }
+
+  // Dedicated (non-shared) lines: slower and far more expensive than the
+  // shared alternatives — the Afghanistan anomaly from §6.
+  const auto dedicated_count =
+      static_cast<std::size_t>(std::round(country.dedicated_share * 10.0));
+  for (std::size_t i = 0; i < dedicated_count; ++i) {
+    ServicePlan plan;
+    plan.isp = isp_name(country, isp_counter++) + " Business";
+    plan.country_code = country.code;
+    const double mbps = rng.uniform(0.25, std::max(0.5, top / 4.0));
+    plan.download = Rate::from_mbps(mbps);
+    plan.upload = plan.download;  // symmetric
+    plan.monthly_price = MoneyPpp::usd(country.access_price.dollars() *
+                                       rng.uniform(2.5, 5.0));
+    plan.tech = AccessTech::kDsl;
+    plan.dedicated = true;
+    plans.push_back(std::move(plan));
+  }
+
+  return PlanCatalog{std::move(plans)};
+}
+
+std::optional<ServicePlan> PlanCatalog::cheapest_at_least(Rate capacity) const {
+  const ServicePlan* best = nullptr;
+  for (const auto& plan : plans_) {
+    if (plan.download < capacity) continue;
+    if (best == nullptr || plan.monthly_price < best->monthly_price) best = &plan;
+  }
+  if (best == nullptr) return std::nullopt;
+  return *best;
+}
+
+std::optional<MoneyPpp> PlanCatalog::access_price() const {
+  const auto plan = cheapest_at_least(Rate::from_mbps(1.0));
+  if (!plan) return std::nullopt;
+  return plan->monthly_price;
+}
+
+stats::LinearFit PlanCatalog::price_capacity_fit() const {
+  std::vector<double> caps;
+  std::vector<double> prices;
+  caps.reserve(plans_.size());
+  prices.reserve(plans_.size());
+  for (const auto& plan : plans_) {
+    caps.push_back(plan.download.mbps());
+    prices.push_back(plan.monthly_price.dollars());
+  }
+  return stats::linear_fit(caps, prices);
+}
+
+std::vector<ServicePlan> PlanCatalog::by_capacity() const {
+  std::vector<ServicePlan> sorted = plans_;
+  std::sort(sorted.begin(), sorted.end(), [](const ServicePlan& a, const ServicePlan& b) {
+    return a.download < b.download;
+  });
+  return sorted;
+}
+
+const ServicePlan& PlanCatalog::nearest_tier(Rate capacity) const {
+  require(!plans_.empty(), "PlanCatalog::nearest_tier on empty catalog");
+  // "The typical service" means the standard wireline tier — a satellite
+  // or business line at a coincidentally similar speed is not what the
+  // paper's Table 4 prices. Fall back to the full catalog only if the
+  // market somehow has no wireline plans.
+  const auto pick = [&](bool wireline_only) -> const ServicePlan* {
+    const ServicePlan* best = nullptr;
+    double best_dist = std::numeric_limits<double>::infinity();
+    for (const auto& plan : plans_) {
+      if (wireline_only &&
+          (plan.tech == AccessTech::kFixedWireless ||
+           plan.tech == AccessTech::kSatellite || plan.dedicated)) {
+        continue;
+      }
+      // Distance in log-capacity space: tiers are multiplicative.
+      const double dist = std::fabs(std::log(plan.download.mbps() + 1e-9) -
+                                    std::log(capacity.mbps() + 1e-9));
+      if (dist < best_dist ||
+          (dist == best_dist && plan.monthly_price < best->monthly_price)) {
+        best = &plan;
+        best_dist = dist;
+      }
+    }
+    return best;
+  };
+  const ServicePlan* best = pick(/*wireline_only=*/true);
+  if (best == nullptr) best = pick(/*wireline_only=*/false);
+  return *best;
+}
+
+}  // namespace bblab::market

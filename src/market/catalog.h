@@ -1,0 +1,60 @@
+// Per-country retail plan catalogs.
+//
+// Substitutes for the Google/Communications Chambers pricing survey: for
+// each country we synthesize a catalog of retail plans whose structure
+// matches the paper's observations — price approximately linear in
+// capacity (the slope is the market's "cost of increasing capacity",
+// §6), with realism artifacts that weaken the correlation in some
+// markets: flat-priced wireless plans, capped plans, and expensive
+// dedicated lines (the Afghanistan case).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/rng.h"
+#include "core/units.h"
+#include "market/country.h"
+#include "market/plan.h"
+#include "stats/regression.h"
+
+namespace bblab::market {
+
+class PlanCatalog {
+ public:
+  PlanCatalog() = default;
+  explicit PlanCatalog(std::vector<ServicePlan> plans);
+
+  /// Synthesize a market's catalog from its profile. Deterministic given
+  /// the Rng state.
+  [[nodiscard]] static PlanCatalog generate(const CountryProfile& country, Rng& rng);
+
+  [[nodiscard]] const std::vector<ServicePlan>& plans() const { return plans_; }
+  [[nodiscard]] bool empty() const { return plans_.empty(); }
+  [[nodiscard]] std::size_t size() const { return plans_.size(); }
+
+  /// Cheapest plan with download >= `capacity` (the paper's definition of
+  /// "price of broadband access" uses capacity = 1 Mbps). nullopt if the
+  /// market has no such plan.
+  [[nodiscard]] std::optional<ServicePlan> cheapest_at_least(Rate capacity) const;
+
+  /// The paper's access-price metric: cheapest plan of at least 1 Mbps.
+  [[nodiscard]] std::optional<MoneyPpp> access_price() const;
+
+  /// OLS fit of monthly price (USD PPP) on download capacity (Mbps) across
+  /// all plans. slope = $/Mbps upgrade cost; r = price-capacity correlation.
+  [[nodiscard]] stats::LinearFit price_capacity_fit() const;
+
+  /// Plans sorted ascending by download capacity.
+  [[nodiscard]] std::vector<ServicePlan> by_capacity() const;
+
+  /// The plan a subscriber on `capacity` most plausibly holds (nearest
+  /// download capacity; ties broken toward the cheaper plan). Used to map
+  /// measured capacities back to advertised tiers as Table 4 does.
+  [[nodiscard]] const ServicePlan& nearest_tier(Rate capacity) const;
+
+ private:
+  std::vector<ServicePlan> plans_;
+};
+
+}  // namespace bblab::market

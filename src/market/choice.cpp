@@ -1,0 +1,135 @@
+#include "market/choice.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "core/error.h"
+#include "stats/quantile.h"
+
+namespace bblab::market {
+
+double ChoiceModel::capacity_value(const Household& household, Rate capacity) const {
+  const double need = std::max(household.need_mbps, 0.1);
+  const double c = capacity.mbps();
+  // Saturating value: marginal value of an extra Mbps halves at c == need
+  // and keeps shrinking — the "law of diminishing returns" in preferences.
+  return wtp_multiplier_ * household.value_scale * need * std::log1p(c / need);
+}
+
+double ChoiceModel::utility(const Household& household, const ServicePlan& plan) const {
+  if (plan.monthly_price > household.budget) {
+    return -std::numeric_limits<double>::infinity();
+  }
+  double value = capacity_value(household, plan.download);
+  double perceived_price = plan.monthly_price.dollars();
+  // Households discount fixed-wireless/satellite service (reliability,
+  // latency) and data-capped plans relative to unmetered wireline — these
+  // exist in the catalogs but are not substitutes for home broadband. The
+  // penalty applies to both sides of the trade-off so it binds even for
+  // extremely price-driven households.
+  if (plan.tech == AccessTech::kFixedWireless || plan.tech == AccessTech::kSatellite) {
+    value *= 0.55;
+    perceived_price *= 1.35;
+  }
+  if (plan.monthly_cap.has_value()) value *= 0.8;
+  if (plan.dedicated) value *= 0.9;  // business lines: no consumer appeal
+  return value - perceived_price;
+}
+
+std::optional<ServicePlan> ChoiceModel::choose(const Household& household,
+                                               const PlanCatalog& catalog) const {
+  if (catalog.empty()) return std::nullopt;
+
+  const ServicePlan* best = nullptr;
+  double best_utility = -std::numeric_limits<double>::infinity();
+  const ServicePlan* cheapest = nullptr;
+  for (const auto& plan : catalog.plans()) {
+    if (cheapest == nullptr || plan.monthly_price < cheapest->monthly_price) {
+      cheapest = &plan;
+    }
+    const double u = utility(household, plan);
+    const bool better =
+        u > best_utility ||
+        (u == best_utility && best != nullptr && plan.monthly_price < best->monthly_price);
+    if (better) {
+      best = &plan;
+      best_utility = u;
+    }
+  }
+  if (best == nullptr || best_utility == -std::numeric_limits<double>::infinity()) {
+    return *cheapest;  // nothing affordable: take the entry-level plan
+  }
+  return *best;
+}
+
+ChoiceModel ChoiceModel::calibrated(const CountryProfile& country,
+                                    const PlanCatalog& catalog,
+                                    std::span<const Household> probe_households) {
+  require(!catalog.empty(), "ChoiceModel::calibrated: empty catalog");
+  require(!probe_households.empty(), "ChoiceModel::calibrated: no probe households");
+
+  const auto median_choice = [&](double multiplier) {
+    const ChoiceModel model{multiplier};
+    std::vector<double> chosen;
+    chosen.reserve(probe_households.size());
+    for (const auto& h : probe_households) {
+      const auto plan = model.choose(h, catalog);
+      chosen.push_back(plan ? plan->download.mbps() : 0.0);
+    }
+    return stats::median(chosen);
+  };
+
+  // Median chosen capacity is monotone non-decreasing in the multiplier;
+  // bisect in log space to land near the market's typical capacity.
+  const double target = country.typical_capacity.mbps();
+  double lo = 1e-3;
+  double hi = 1e4;
+  for (int iter = 0; iter < 48; ++iter) {
+    const double mid = std::sqrt(lo * hi);
+    if (median_choice(mid) < target) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return ChoiceModel{std::sqrt(lo * hi)};
+}
+
+Household sample_household(const CountryProfile& country, Rng& rng, double need_scale) {
+  Household h;
+  // Needs are global, not market-local: the applications households want
+  // (video, downloads, calls) are the same everywhere — that is the
+  // paper's core distinction between need and what a market lets people
+  // afford. A mild income factor captures device/household-size effects.
+  // What differs across markets is what that need can BUY.
+  const double income_factor =
+      std::clamp(std::pow(country.gdp_per_capita_ppp / 30000.0, 0.25), 0.55, 1.5);
+  const double need_median = 6.5 * income_factor;
+  h.need_mbps = need_scale * rng.lognormal(std::log(need_median), 0.80);
+
+  // Budget: subscribers, by definition, can pay for service in their
+  // market. The median budget is the larger of a baseline income share
+  // (4% of monthly GDP per capita) and ~1.35x the price of the market's
+  // typical tier — in Botswana the paper's subscribers spend 8% of their
+  // income where an American spends 1.3%, because the people who are
+  // online in an expensive market are exactly those willing and able to
+  // stretch for it.
+  const double monthly_income = country.gdp_per_capita_ppp / 12.0;
+  const double typ = country.typical_capacity.mbps();
+  const double typical_plan_price =
+      typ >= 1.0 ? country.access_price.dollars() +
+                       country.upgrade_cost_per_mbps * (typ - 1.0)
+                 : country.access_price.dollars() * (0.55 + 0.45 * typ);
+  const double budget_median =
+      std::max(0.04 * monthly_income, 1.35 * typical_plan_price);
+  h.budget = MoneyPpp::usd(std::max(5.0, rng.lognormal(std::log(budget_median), 0.4)));
+
+  // Willingness to pay scales with budget: richer households price their
+  // time (and entertainment) higher.
+  h.value_scale = 0.6 * h.budget.dollars();
+  return h;
+}
+
+}  // namespace bblab::market

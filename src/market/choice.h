@@ -1,0 +1,73 @@
+// Consumer plan choice: need, want, can afford.
+//
+// The paper's causal story is that subscribers arrive at a market with
+// needs and budgets, pick a plan under the market's prices, and their
+// subsequent usage is shaped by what they picked (§3). We model that
+// directly: a household has a latent bandwidth need, a monthly budget, and
+// a willingness-to-pay scale; plan utility is a saturating value of
+// capacity minus price, maximized subject to the budget. In expensive
+// markets the same need buys less capacity — which is precisely the
+// mechanism behind the §5/§6 price results.
+#pragma once
+
+#include <optional>
+
+#include "core/rng.h"
+#include "core/units.h"
+#include "market/catalog.h"
+#include "market/country.h"
+
+namespace bblab::market {
+
+/// A subscriber household's latent economic parameters.
+struct Household {
+  /// Peak bandwidth the household could productively use (Mbps).
+  double need_mbps{4.0};
+  /// Hard monthly spending cap (USD PPP).
+  MoneyPpp budget{MoneyPpp::usd(60.0)};
+  /// Dollars of perceived value per unit of saturating capacity-value;
+  /// scales willingness to pay for speed.
+  double value_scale{15.0};
+};
+
+class ChoiceModel {
+ public:
+  /// `wtp_multiplier` rescales every household's value_scale; the catalog
+  /// generator calibrates it per market so median choices land on the
+  /// market's typical capacity.
+  explicit ChoiceModel(double wtp_multiplier = 1.0) : wtp_multiplier_{wtp_multiplier} {}
+
+  /// Saturating value of a capacity for a household (diminishing returns:
+  /// marginal value halves once capacity reaches the need).
+  [[nodiscard]] double capacity_value(const Household& household, Rate capacity) const;
+
+  /// Net utility of a plan; negative infinity if over budget.
+  [[nodiscard]] double utility(const Household& household, const ServicePlan& plan) const;
+
+  /// The utility-maximizing affordable plan. Falls back to the cheapest
+  /// plan when nothing is affordable (subscribers in the datasets are, by
+  /// construction, online). nullopt only for an empty catalog.
+  [[nodiscard]] std::optional<ServicePlan> choose(const Household& household,
+                                                  const PlanCatalog& catalog) const;
+
+  [[nodiscard]] double wtp_multiplier() const { return wtp_multiplier_; }
+
+  /// Calibrate the willingness-to-pay multiplier so that the median of
+  /// `probe_households` chooses within a factor of ~1.5 of
+  /// `country.typical_capacity` from `catalog`. Binary search on the
+  /// multiplier; deterministic.
+  [[nodiscard]] static ChoiceModel calibrated(const CountryProfile& country,
+                                              const PlanCatalog& catalog,
+                                              std::span<const Household> probe_households);
+
+ private:
+  double wtp_multiplier_;
+};
+
+/// Draw a household from a country's income and need distributions.
+/// `need_scale` shifts the whole need distribution (used by the
+/// longitudinal model to grow needs year over year).
+[[nodiscard]] Household sample_household(const CountryProfile& country, Rng& rng,
+                                         double need_scale = 1.0);
+
+}  // namespace bblab::market

@@ -1,0 +1,102 @@
+// Country market profiles and the built-in world.
+//
+// The paper's analysis conditions on country-level market features: the
+// price of broadband access (cheapest plan of at least 1 Mbps, USD PPP),
+// the cost of increasing capacity (regression slope of price on capacity
+// across the market's plans), typical capacities, connection quality, and
+// GDP per capita (PPP). CountryProfile bundles those parameters; the
+// built-in World is a curated 60-country table whose case-study entries
+// (Botswana, Saudi Arabia, US, Japan, India, ...) are anchored to the
+// numbers the paper reports, and whose regional aggregates reproduce
+// Table 5's upgrade-cost distribution.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/units.h"
+#include "market/currency.h"
+
+namespace bblab::market {
+
+/// Regions as aggregated in Table 5 of the paper (Asia split into
+/// developed/developing per the IMF classification), plus Oceania which the
+/// paper's table omits.
+enum class Region {
+  kAfrica,
+  kAsiaDeveloped,
+  kAsiaDeveloping,
+  kCentralAmerica,  ///< Central America / Caribbean
+  kEurope,
+  kMiddleEast,
+  kNorthAmerica,
+  kSouthAmerica,
+  kOceania,
+};
+
+[[nodiscard]] std::string region_label(Region region);
+[[nodiscard]] std::span<const Region> table5_regions();  ///< regions the paper tabulates
+
+struct CountryProfile {
+  std::string code;   ///< ISO 3166 alpha-2
+  std::string name;
+  Region region{Region::kEurope};
+  double gdp_per_capita_ppp{0.0};  ///< annual, USD PPP
+  Currency currency{Currency::usd()};
+
+  // Market shape (all monetary values in USD PPP per month).
+  MoneyPpp access_price;           ///< cheapest plan with >= 1 Mbps download
+  double upgrade_cost_per_mbps{0.0};  ///< target price-on-capacity slope
+  Rate max_capacity;               ///< fastest plan marketed
+  Rate typical_capacity;           ///< anchor for the subscribed-capacity distribution
+  double price_noise_sigma{0.08};  ///< log-noise on plan prices
+  double dedicated_share{0.0};     ///< fraction of odd dedicated-line plans (weakens r)
+
+  // Connection quality of the access ecosystem.
+  Millis base_rtt_ms{50.0};        ///< median RTT to nearest measurement servers
+  double rtt_log_sigma{0.35};
+  LossRate base_loss{0.001};       ///< median packet loss rate
+  double loss_log_sigma{1.25};
+  double wireless_share{0.05};     ///< subscribers on fixed-wireless/satellite
+
+  // Vantage-point population.
+  double sample_weight{10.0};      ///< relative number of measured users
+
+  /// Monthly access price as a fraction of monthly GDP per capita — the
+  /// affordability column of Table 4.
+  [[nodiscard]] double access_price_income_share() const {
+    const double monthly_income = gdp_per_capita_ppp / 12.0;
+    return monthly_income > 0 ? access_price.dollars() / monthly_income : 0.0;
+  }
+};
+
+/// An immutable collection of country profiles with lookups.
+class World {
+ public:
+  explicit World(std::vector<CountryProfile> countries);
+
+  /// The curated built-in world (~60 countries across all regions).
+  /// Returns a process-lifetime singleton: callers routinely keep
+  /// references into it (StudyGenerator holds `const World&`), so a
+  /// by-value return here would be a dangling-reference trap.
+  [[nodiscard]] static const World& builtin();
+
+  [[nodiscard]] std::span<const CountryProfile> countries() const { return countries_; }
+  [[nodiscard]] std::size_t size() const { return countries_.size(); }
+
+  /// Lookup by ISO code; throws InvalidArgument if missing.
+  [[nodiscard]] const CountryProfile& at(const std::string& code) const;
+  [[nodiscard]] bool contains(const std::string& code) const;
+
+  [[nodiscard]] std::vector<const CountryProfile*> in_region(Region region) const;
+
+  /// Restrict to a subset of ISO codes (for focused case studies).
+  [[nodiscard]] World subset(std::span<const std::string> codes) const;
+
+ private:
+  std::vector<CountryProfile> countries_;
+};
+
+}  // namespace bblab::market

@@ -1,0 +1,19 @@
+#include "market/currency.h"
+
+#include <utility>
+
+#include "core/error.h"
+
+namespace bblab::market {
+
+Currency::Currency(std::string code, double units_per_usd_market,
+                   double units_per_usd_ppp)
+    : code_{std::move(code)}, market_{units_per_usd_market}, ppp_{units_per_usd_ppp} {
+  require(!code_.empty(), "Currency: code must be non-empty");
+  require(market_ > 0.0, "Currency: market rate must be positive");
+  require(ppp_ > 0.0, "Currency: PPP factor must be positive");
+}
+
+Currency Currency::usd() { return Currency{"USD", 1.0, 1.0}; }
+
+}  // namespace bblab::market

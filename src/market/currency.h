@@ -1,0 +1,52 @@
+// Currency and purchasing-power-parity normalization.
+//
+// The paper converts every monthly price to US dollars and then adjusts by
+// the purchasing-power-parity (PPP) to market-exchange ratio so prices are
+// comparable across economies (§2.1). A Currency carries both rates; all
+// downstream code works in MoneyPpp.
+#pragma once
+
+#include <string>
+
+#include "core/units.h"
+
+namespace bblab::market {
+
+class Currency {
+ public:
+  /// `units_per_usd_market`: market exchange rate (local units per 1 USD).
+  /// `units_per_usd_ppp`: PPP conversion factor (local units with the same
+  /// purchasing power as 1 USD in the US).
+  Currency(std::string code, double units_per_usd_market, double units_per_usd_ppp);
+
+  [[nodiscard]] const std::string& code() const { return code_; }
+  [[nodiscard]] double units_per_usd_market() const { return market_; }
+  [[nodiscard]] double units_per_usd_ppp() const { return ppp_; }
+
+  /// PPP-to-market-exchange ratio: > 1 means local prices stretch further
+  /// than the market rate suggests.
+  [[nodiscard]] double ppp_ratio() const { return market_ / ppp_; }
+
+  /// Convert a local-currency amount to PPP-adjusted US dollars.
+  [[nodiscard]] MoneyPpp to_usd_ppp(double local_amount) const {
+    return MoneyPpp::usd(local_amount / ppp_);
+  }
+
+  /// Convert to nominal (market-rate) US dollars — used only for reporting.
+  [[nodiscard]] double to_usd_market(double local_amount) const {
+    return local_amount / market_;
+  }
+
+  /// Inverse of to_usd_ppp.
+  [[nodiscard]] double from_usd_ppp(MoneyPpp usd) const { return usd.dollars() * ppp_; }
+
+  /// The US dollar itself (identity conversion).
+  [[nodiscard]] static Currency usd();
+
+ private:
+  std::string code_;
+  double market_;
+  double ppp_;
+};
+
+}  // namespace bblab::market

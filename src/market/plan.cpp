@@ -1,0 +1,28 @@
+#include "market/plan.h"
+
+#include <array>
+#include <cstdio>
+
+namespace bblab::market {
+
+std::string tech_label(AccessTech tech) {
+  switch (tech) {
+    case AccessTech::kDsl: return "DSL";
+    case AccessTech::kCable: return "cable";
+    case AccessTech::kFiber: return "fiber";
+    case AccessTech::kFixedWireless: return "wireless";
+    case AccessTech::kSatellite: return "satellite";
+  }
+  return "?";
+}
+
+std::string ServicePlan::to_string() const {
+  std::array<char, 192> buf{};
+  std::snprintf(buf.data(), buf.size(), "%s [%s] %s down / %s up, %s/mo (%s%s)",
+                isp.c_str(), country_code.c_str(), download.to_string().c_str(),
+                upload.to_string().c_str(), monthly_price.to_string().c_str(),
+                tech_label(tech).c_str(), dedicated ? ", dedicated" : "");
+  return std::string{buf.data()};
+}
+
+}  // namespace bblab::market

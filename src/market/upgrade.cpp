@@ -1,0 +1,39 @@
+#include "market/upgrade.h"
+
+#include <cmath>
+
+#include "core/error.h"
+
+namespace bblab::market {
+
+std::vector<UpgradeEvent> UpgradeModel::evolve(Household& household,
+                                               const ServicePlan& initial_plan,
+                                               const PlanCatalog& catalog,
+                                               int start_year, int years,
+                                               Rng& rng) const {
+  require(years >= 0, "UpgradeModel::evolve: years must be non-negative");
+  std::vector<UpgradeEvent> events;
+  ServicePlan current = initial_plan;
+
+  for (int y = 1; y <= years; ++y) {
+    // Needs compound (with household-level jitter around the global rate).
+    const double growth =
+        policy_.annual_need_growth * std::exp(rng.normal(0.0, 0.10));
+    household.need_mbps *= std::max(0.5, growth);
+
+    if (!rng.bernoulli(policy_.reevaluation_rate)) continue;
+
+    const auto candidate = choice_.choose(household, catalog);
+    if (!candidate) continue;
+    const double gain =
+        choice_.utility(household, *candidate) - choice_.utility(household, current);
+    if (candidate->download == current.download || gain < policy_.switching_friction) {
+      continue;
+    }
+    events.push_back({start_year + y, current, *candidate});
+    current = *candidate;
+  }
+  return events;
+}
+
+}  // namespace bblab::market

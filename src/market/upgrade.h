@@ -1,0 +1,63 @@
+// Service upgrade dynamics.
+//
+// Section 4 of the paper finds that demand within a capacity class stays
+// flat over 2011-2013 while aggregate traffic grows — because subscribers
+// whose needs grow "jump" to a faster service instead of saturating their
+// existing one. UpgradeModel implements that jump: each year a household's
+// need grows; it re-evaluates the market and, if the utility gain of a
+// faster plan clears a switching friction, upgrades. The emitted events
+// feed the Table 1 / Fig. 4 / Fig. 5 natural experiments.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/rng.h"
+#include "market/choice.h"
+
+namespace bblab::market {
+
+struct UpgradeEvent {
+  int year{0};                 ///< calendar year the switch happened
+  ServicePlan old_plan;
+  ServicePlan new_plan;
+
+  [[nodiscard]] bool is_upgrade() const { return new_plan.download > old_plan.download; }
+};
+
+struct UpgradePolicy {
+  /// Multiplicative annual growth of household need (global IP traffic
+  /// grew ~4x over five years, ~1.32x annually).
+  double annual_need_growth{1.32};
+  /// Minimum utility improvement (USD PPP / month) before a household
+  /// bothers to switch plans — contract and hassle friction. Calibrated
+  /// choice models compress utilities to the scale of plan prices, so the
+  /// default is well under a dollar.
+  double switching_friction{0.75};
+  /// Probability per year that a household re-evaluates the market at all.
+  double reevaluation_rate{0.7};
+};
+
+class UpgradeModel {
+ public:
+  UpgradeModel(ChoiceModel choice, UpgradePolicy policy)
+      : choice_{choice}, policy_{policy} {}
+
+  /// Evolve a household through `years` consecutive years starting at
+  /// `start_year` on `initial_plan`. Returns the plan-change events (the
+  /// household's need is mutated to its final value).
+  [[nodiscard]] std::vector<UpgradeEvent> evolve(Household& household,
+                                                 const ServicePlan& initial_plan,
+                                                 const PlanCatalog& catalog,
+                                                 int start_year, int years,
+                                                 Rng& rng) const;
+
+  [[nodiscard]] const UpgradePolicy& policy() const { return policy_; }
+  [[nodiscard]] const ChoiceModel& choice() const { return choice_; }
+
+ private:
+  ChoiceModel choice_;
+  UpgradePolicy policy_;
+};
+
+}  // namespace bblab::market

@@ -1,0 +1,58 @@
+#include "measurement/ndt.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.h"
+
+namespace bblab::measurement {
+
+NdtResult NdtProbe::measure_once(const netsim::AccessLink& link, Rng& rng) const {
+  require(link.valid(), "NdtProbe: invalid link");
+  NdtResult r;
+
+  // Throughput: a 4-connection test bounded by TCP on this path, reading
+  // a random fraction of what is achievable.
+  const double read = rng.uniform(params_.capacity_read_lo, params_.capacity_read_hi);
+  const Rate achievable_down = tcp_.parallel_throughput(link, 4);
+  r.download = achievable_down * read;
+  netsim::AccessLink up_view = link;
+  up_view.down = link.up;  // reuse the model for the uplink direction
+  r.upload = tcp_.parallel_throughput(up_view, 4) * read;
+
+  // Latency: the path RTT with measurement jitter.
+  r.rtt_ms = link.rtt_ms * std::exp(rng.normal(0.0, params_.rtt_jitter_sigma));
+
+  // Loss: binomial estimate over a finite packet sample.
+  const auto packets = static_cast<double>(params_.loss_sample_packets);
+  double lost = 0.0;
+  // Normal approximation of Binomial(n, p) keeps this O(1); exact for the
+  // common low-loss case via Poisson when np is small.
+  const double np = packets * link.loss;
+  if (np < 30.0) {
+    lost = static_cast<double>(rng.poisson(np));
+  } else {
+    lost = std::max(0.0, std::round(rng.normal(np, std::sqrt(np * (1.0 - link.loss)))));
+  }
+  r.loss = std::min(1.0, lost / packets);
+  return r;
+}
+
+NdtResult NdtProbe::characterize(const netsim::AccessLink& link, Rng& rng) const {
+  require(params_.repetitions >= 1, "NdtProbe: need at least one repetition");
+  NdtResult agg;
+  double rtt_sum = 0.0;
+  double loss_sum = 0.0;
+  for (int i = 0; i < params_.repetitions; ++i) {
+    const NdtResult one = measure_once(link, rng);
+    agg.download = std::max(agg.download, one.download);
+    agg.upload = std::max(agg.upload, one.upload);
+    rtt_sum += one.rtt_ms;
+    loss_sum += one.loss;
+  }
+  agg.rtt_ms = rtt_sum / params_.repetitions;
+  agg.loss = loss_sum / params_.repetitions;
+  return agg;
+}
+
+}  // namespace bblab::measurement

@@ -1,0 +1,60 @@
+// NDT-style active measurement.
+//
+// Both datasets characterize each line with active probes: the Dasu client
+// runs M-Lab's Network Diagnostic Tool, reporting download/upload
+// capacity, end-to-end latency and packet loss to the nearest measurement
+// server; the FCC gateways run equivalent tests. NdtProbe reproduces that
+// instrument against a simulated link: throughput tests under-read the
+// provisioned rate (TCP ramp + cross traffic), latency includes server
+// placement spread, and loss is estimated from a finite packet sample so
+// low rates quantize exactly the way real NDT reports do.
+#pragma once
+
+#include "core/rng.h"
+#include "core/units.h"
+#include "netsim/link.h"
+#include "netsim/tcp_model.h"
+
+namespace bblab::measurement {
+
+struct NdtResult {
+  Rate download;
+  Rate upload;
+  Millis rtt_ms{0.0};
+  LossRate loss{0.0};
+};
+
+struct NdtProbeParams {
+  /// Throughput tests read a fraction of provisioned capacity.
+  double capacity_read_lo{0.88};
+  double capacity_read_hi{1.0};
+  /// Multiplicative jitter on the latency estimate.
+  double rtt_jitter_sigma{0.08};
+  /// Packets observed by one loss estimate (NDT's 10-second test at a
+  /// few Mbps sees on the order of a few thousand packets).
+  int loss_sample_packets{4000};
+  /// Number of repeated probes averaged into the per-user figure.
+  int repetitions{8};
+};
+
+class NdtProbe {
+ public:
+  explicit NdtProbe(NdtProbeParams params = {}, netsim::TcpModel tcp = netsim::TcpModel{})
+      : params_{params}, tcp_{tcp} {}
+
+  /// One test run against the link.
+  [[nodiscard]] NdtResult measure_once(const netsim::AccessLink& link, Rng& rng) const;
+
+  /// The per-user characterization the analysis uses: max of the measured
+  /// download capacities (the paper uses maximum measured capacity) and
+  /// the averages of latency and loss across repetitions.
+  [[nodiscard]] NdtResult characterize(const netsim::AccessLink& link, Rng& rng) const;
+
+  [[nodiscard]] const NdtProbeParams& params() const { return params_; }
+
+ private:
+  NdtProbeParams params_;
+  netsim::TcpModel tcp_;
+};
+
+}  // namespace bblab::measurement

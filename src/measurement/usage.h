@@ -1,0 +1,52 @@
+// Usage time series and the paper's demand metrics.
+//
+// The analysis reduces each user's traffic to two numbers per direction:
+// the mean rate and the "peak" rate defined as the 95th percentile of the
+// sampled demand time series (§3.1) — each computed both over all samples
+// and restricted to periods when BitTorrent was not active.
+#pragma once
+
+#include <vector>
+
+#include "core/time.h"
+#include "core/units.h"
+
+namespace bblab::measurement {
+
+struct UsageSample {
+  SimTime time{0.0};
+  double interval_s{30.0};  ///< seconds covered by this sample
+  Rate down;
+  Rate up;
+  bool bt_active{false};
+};
+
+struct UsageSeries {
+  std::vector<UsageSample> samples;
+
+  [[nodiscard]] bool empty() const { return samples.empty(); }
+  [[nodiscard]] std::size_t size() const { return samples.size(); }
+};
+
+/// The per-user demand summary every experiment consumes.
+struct UsageSummary {
+  Rate mean_down;
+  Rate peak_down;          ///< 95th percentile
+  Rate mean_down_no_bt;
+  Rate peak_down_no_bt;
+  Rate mean_up;
+  Rate peak_up;
+  std::size_t samples{0};
+  std::size_t samples_no_bt{0};
+
+  /// Fraction of samples with BitTorrent activity.
+  [[nodiscard]] double bt_share() const {
+    return samples > 0
+               ? 1.0 - static_cast<double>(samples_no_bt) / static_cast<double>(samples)
+               : 0.0;
+  }
+};
+
+[[nodiscard]] UsageSummary summarize(const UsageSeries& series);
+
+}  // namespace bblab::measurement

@@ -1,0 +1,45 @@
+// Flows: the unit of offered work.
+//
+// Applications emit flows (a web page fetch, a streaming session, a
+// torrent piece exchange); the fluid simulator schedules them on the
+// access link. A flow carries either a finite volume (transfer) or a
+// duration (rate-bound stream), plus an application-level rate cap.
+#pragma once
+
+#include <string>
+
+#include "core/time.h"
+#include "core/units.h"
+
+namespace bblab::netsim {
+
+enum class AppKind {
+  kWeb,         ///< page fetches: many short transfers
+  kVideo,       ///< streaming: long rate-bound sessions (ABR ladder)
+  kBulk,        ///< large downloads: software updates, file hosting
+  kBitTorrent,  ///< P2P: long link-saturating sessions, both directions
+  kVoip,        ///< calls / gaming: thin constant-rate, latency sensitive
+  kBackground,  ///< telemetry, sync, mail polling
+};
+
+[[nodiscard]] std::string app_label(AppKind kind);
+
+enum class Direction { kDown, kUp };
+
+struct Flow {
+  SimTime start{0.0};
+  AppKind app{AppKind::kWeb};
+  Direction direction{Direction::kDown};
+
+  /// Finite transfer volume in bytes; 0 means the flow is duration-bound.
+  double volume_bytes{0.0};
+  /// For duration-bound flows: how long the session lasts.
+  double duration_s{0.0};
+  /// Application-level rate cap (video bitrate, VoIP codec rate...);
+  /// zero-rate cap means "as fast as TCP allows".
+  Rate rate_cap{};
+
+  [[nodiscard]] bool volume_bound() const { return volume_bytes > 0.0; }
+};
+
+}  // namespace bblab::netsim

@@ -1,0 +1,91 @@
+// Fluid (processor-sharing) access-link simulator.
+//
+// Packet-level simulation is three orders of magnitude more work than the
+// 30-second byte counters the paper analyzes can justify. The standard
+// flow-level abstraction is used instead: concurrent flows share the link
+// by max-min fair water-filling, each flow additionally bounded by its
+// application rate cap and its TCP-achievable rate. The simulator is
+// event-driven — state changes only at flow arrivals, completions, and
+// session expiries — and integrates exact per-flow rates into fixed-width
+// byte-count bins, which is precisely what the measurement layer samples.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/time.h"
+#include "netsim/flow.h"
+#include "netsim/link.h"
+#include "netsim/tcp_model.h"
+
+namespace bblab::netsim {
+
+/// Byte counters aggregated into fixed-width bins over an observation
+/// window — the simulator's ground-truth output.
+struct BinnedUsage {
+  SimTime start{0.0};
+  double bin_width_s{30.0};
+  std::vector<double> down_bytes;
+  std::vector<double> up_bytes;
+  /// Seconds within each bin during which at least one BitTorrent flow was
+  /// active (the Dasu analysis filters "not active on BitTorrent" periods).
+  std::vector<double> bt_active_s;
+
+  [[nodiscard]] std::size_t bins() const { return down_bytes.size(); }
+  [[nodiscard]] SimTime bin_time(std::size_t i) const {
+    return start + (static_cast<double>(i) + 0.5) * bin_width_s;
+  }
+  [[nodiscard]] bool bt_active(std::size_t i) const { return bt_active_s[i] > 0.0; }
+
+  /// Downlink rate of bin i.
+  [[nodiscard]] Rate down_rate(std::size_t i) const {
+    return rate_over(down_bytes[i], bin_width_s);
+  }
+  [[nodiscard]] Rate up_rate(std::size_t i) const {
+    return rate_over(up_bytes[i], bin_width_s);
+  }
+};
+
+/// Water-filling allocation: distribute `capacity_bps` across flows with
+/// per-flow caps `caps_bps`, max-min fair. Returns per-flow rates.
+/// Exposed for unit testing.
+[[nodiscard]] std::vector<double> water_fill(double capacity_bps,
+                                             std::span<const double> caps_bps);
+
+/// Optional realism extensions.
+struct FluidOptions {
+  /// Bufferbloat: when the downlink is saturated, the access queue fills
+  /// and every flow's RTT inflates by ~buffer_ms, re-throttling TCP-bound
+  /// flows. Off by default (the paper-period analysis does not need it);
+  /// bench/ext_bufferbloat quantifies its effect.
+  bool bufferbloat{false};
+  double buffer_ms{150.0};
+};
+
+class FluidLinkSimulator {
+ public:
+  explicit FluidLinkSimulator(AccessLink link, TcpModel tcp = TcpModel{},
+                              FluidOptions options = {});
+
+  /// Simulate `flows` (must be sorted by start time) over the window
+  /// [window_start, window_start + bins * bin_width) and return the binned
+  /// byte counters. Flows overlapping the window edges are clipped.
+  [[nodiscard]] BinnedUsage run(std::span<const Flow> flows, SimTime window_start,
+                                std::size_t bins, double bin_width_s = 30.0) const;
+
+  [[nodiscard]] const AccessLink& link() const { return link_; }
+
+  /// Per-flow ceiling: min(app cap, TCP-achievable rate for this app's
+  /// connection behavior, link capacity). `extra_rtt_ms` models queueing
+  /// delay under bufferbloat.
+  [[nodiscard]] double flow_cap_bps(const Flow& flow, double extra_rtt_ms = 0.0) const;
+
+  [[nodiscard]] const FluidOptions& options() const { return options_; }
+
+ private:
+  AccessLink link_;
+  TcpModel tcp_;
+  FluidOptions options_;
+};
+
+}  // namespace bblab::netsim

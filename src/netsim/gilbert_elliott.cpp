@@ -1,0 +1,76 @@
+#include "netsim/gilbert_elliott.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.h"
+
+namespace bblab::netsim {
+
+GilbertElliott::GilbertElliott(GilbertElliottParams params) : params_{params} {
+  require(params_.p_good_to_bad > 0.0 && params_.p_good_to_bad < 1.0,
+          "GilbertElliott: p_good_to_bad in (0,1)");
+  require(params_.p_bad_to_good > 0.0 && params_.p_bad_to_good <= 1.0,
+          "GilbertElliott: p_bad_to_good in (0,1]");
+  require(params_.loss_good >= 0.0 && params_.loss_good <= 1.0,
+          "GilbertElliott: loss_good in [0,1]");
+  require(params_.loss_bad >= 0.0 && params_.loss_bad <= 1.0,
+          "GilbertElliott: loss_bad in [0,1]");
+}
+
+double GilbertElliott::stationary_bad() const {
+  return params_.p_good_to_bad / (params_.p_good_to_bad + params_.p_bad_to_good);
+}
+
+LossRate GilbertElliott::average_loss() const {
+  const double pi_bad = stationary_bad();
+  return (1.0 - pi_bad) * params_.loss_good + pi_bad * params_.loss_bad;
+}
+
+double GilbertElliott::mean_burst_length() const {
+  return 1.0 / params_.p_bad_to_good;
+}
+
+LossRate GilbertElliott::effective_loss_for_tcp() const {
+  // Collapse each bad-state excursion into roughly one congestion event,
+  // then penalize by the burst depth: event_rate * sqrt(burst) is the
+  // usual first-order correction (deeper bursts cost more than one
+  // halving but far less than `burst` independent halvings).
+  const double event_rate = average_loss() / std::max(1.0, mean_burst_length());
+  const double penalty = std::sqrt(std::max(1.0, mean_burst_length()));
+  return std::clamp(event_rate * penalty + params_.loss_good, 0.0, 1.0);
+}
+
+std::uint64_t GilbertElliott::simulate_losses(std::uint64_t packets, Rng& rng) const {
+  bool bad = rng.bernoulli(stationary_bad());
+  std::uint64_t lost = 0;
+  for (std::uint64_t i = 0; i < packets; ++i) {
+    if (rng.bernoulli(bad ? params_.loss_bad : params_.loss_good)) ++lost;
+    bad = bad ? !rng.bernoulli(params_.p_bad_to_good)
+              : rng.bernoulli(params_.p_good_to_bad);
+  }
+  return lost;
+}
+
+GilbertElliott GilbertElliott::from_average(LossRate average_loss,
+                                            double mean_burst_length) {
+  require(average_loss > 0.0 && average_loss < 0.5,
+          "GilbertElliott::from_average: average loss in (0, 0.5)");
+  require(mean_burst_length >= 1.0,
+          "GilbertElliott::from_average: burst length >= 1");
+  GilbertElliottParams params;
+  params.loss_good = average_loss * 0.05;  // residual background loss
+  params.loss_bad = 0.5;
+  params.p_bad_to_good = 1.0 / mean_burst_length;
+  // Solve stationary_bad from: avg = (1-pi)*good + pi*bad.
+  const double pi_bad =
+      (average_loss - params.loss_good) / (params.loss_bad - params.loss_good);
+  require(pi_bad > 0.0 && pi_bad < 1.0,
+          "GilbertElliott::from_average: infeasible target");
+  // pi = g2b / (g2b + b2g)  =>  g2b = pi * b2g / (1 - pi).
+  params.p_good_to_bad =
+      std::min(0.99, pi_bad * params.p_bad_to_good / (1.0 - pi_bad));
+  return GilbertElliott{params};
+}
+
+}  // namespace bblab::netsim

@@ -1,0 +1,60 @@
+// Gilbert-Elliott bursty-loss model.
+//
+// The paper traces its very-high-loss tail to satellite and cellular
+// links (§2.2), whose losses come in bursts rather than as independent
+// drops. A two-state Markov chain (Good/Bad with per-state loss rates)
+// is the standard model. TCP suffers more from bursty loss than the
+// Mathis formula's average-rate assumption predicts; effective_loss()
+// exposes the adjusted rate the throughput model should use.
+#pragma once
+
+#include <cstdint>
+
+#include "core/rng.h"
+#include "core/units.h"
+
+namespace bblab::netsim {
+
+struct GilbertElliottParams {
+  double p_good_to_bad{0.002};  ///< per-packet transition probability
+  double p_bad_to_good{0.05};
+  LossRate loss_good{0.0001};   ///< loss rate inside the Good state
+  LossRate loss_bad{0.25};      ///< loss rate inside the Bad state
+};
+
+class GilbertElliott {
+ public:
+  explicit GilbertElliott(GilbertElliottParams params);
+
+  /// Long-run fraction of time in the Bad state.
+  [[nodiscard]] double stationary_bad() const;
+
+  /// Long-run average packet loss rate.
+  [[nodiscard]] LossRate average_loss() const;
+
+  /// Mean burst length (packets) once the Bad state is entered.
+  [[nodiscard]] double mean_burst_length() const;
+
+  /// Loss rate TCP effectively experiences: clustered drops waste fewer
+  /// distinct congestion events than independent drops of the same
+  /// average rate, but each burst forces a deeper multiplicative backoff.
+  /// The standard approximation treats each burst as ~one loss EVENT and
+  /// scales the Mathis input by the event rate with a burst penalty.
+  [[nodiscard]] LossRate effective_loss_for_tcp() const;
+
+  /// Simulate `packets` transmissions; returns the number lost. Exposes
+  /// the chain for statistical tests.
+  [[nodiscard]] std::uint64_t simulate_losses(std::uint64_t packets, Rng& rng) const;
+
+  /// Fit a GE chain to a target average loss with a given burstiness
+  /// (mean burst length). Inverse of average_loss()/mean_burst_length().
+  [[nodiscard]] static GilbertElliott from_average(LossRate average_loss,
+                                                   double mean_burst_length);
+
+  [[nodiscard]] const GilbertElliottParams& params() const { return params_; }
+
+ private:
+  GilbertElliottParams params_;
+};
+
+}  // namespace bblab::netsim

@@ -1,0 +1,24 @@
+// Access link description.
+//
+// The unit of observation in the paper is a residential broadband line:
+// a provisioned downlink/uplink capacity plus the path quality (latency,
+// loss) toward the content the household actually fetches. AccessLink is
+// that line as the simulator sees it.
+#pragma once
+
+#include "core/units.h"
+
+namespace bblab::netsim {
+
+struct AccessLink {
+  Rate down{Rate::from_mbps(8.0)};   ///< provisioned downlink capacity
+  Rate up{Rate::from_mbps(1.0)};     ///< provisioned uplink capacity
+  Millis rtt_ms{50.0};               ///< round-trip time to nearby servers
+  LossRate loss{0.001};              ///< end-to-end packet loss rate
+
+  [[nodiscard]] bool valid() const {
+    return down.bps() > 0 && up.bps() > 0 && rtt_ms > 0 && loss >= 0 && loss <= 1;
+  }
+};
+
+}  // namespace bblab::netsim

@@ -1,0 +1,57 @@
+#include "netsim/tcp_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.h"
+
+namespace bblab::netsim {
+
+double TcpModel::loss_limited_bps(const AccessLink& link) const {
+  const double rtt_s = link.rtt_ms / 1e3;
+  const double p = std::max(link.loss, params_.loss_floor);
+  // Mathis: MSS / RTT * C / sqrt(p), in bytes/s -> bits/s.
+  const double mathis = params_.mss_bytes / rtt_s * params_.mathis_c / std::sqrt(p);
+  // Receive-window bound: W / RTT.
+  const double window = params_.max_window_bytes / rtt_s;
+  return 8.0 * std::min(mathis, window);
+}
+
+Rate TcpModel::steady_throughput(const AccessLink& link) const {
+  require(link.valid(), "TcpModel: invalid link");
+  return Rate::from_bps(std::min(link.down.bps(), loss_limited_bps(link)));
+}
+
+Rate TcpModel::transfer_throughput(const AccessLink& link, double volume_bytes) const {
+  require(link.valid(), "TcpModel: invalid link");
+  require(volume_bytes >= 0.0, "TcpModel: volume must be non-negative");
+  const Rate steady = steady_throughput(link);
+  if (volume_bytes <= 0.0) return steady;
+
+  // Slow-start approximation: doubling from one MSS per RTT, the transfer
+  // spends ~log2(V / MSS) RTTs ramping; average rate over a short transfer
+  // is the volume over ramp time + residual-at-steady time.
+  const double rtt_s = link.rtt_ms / 1e3;
+  const double rounds =
+      std::max(1.0, std::log2(std::max(2.0, volume_bytes / params_.mss_bytes)));
+  const double ramp_bytes =
+      std::min(volume_bytes, params_.mss_bytes * (std::pow(2.0, rounds) - 1.0));
+  const double ramp_time = rounds * rtt_s;
+  const double tail_bytes = volume_bytes - std::min(volume_bytes, ramp_bytes);
+  const double tail_time = tail_bytes / std::max(1.0, steady.bytes_per_sec());
+  const double total_time = ramp_time + tail_time;
+  if (total_time <= 0.0) return steady;
+  // The ramp approximation can overshoot steady state on short-RTT paths;
+  // the effective rate is never above what the path sustains.
+  return Rate::from_bps(
+      std::min(steady.bps(), Rate::from_bytes_per_sec(volume_bytes / total_time).bps()));
+}
+
+Rate TcpModel::parallel_throughput(const AccessLink& link, int connections) const {
+  require(link.valid(), "TcpModel: invalid link");
+  require(connections >= 1, "TcpModel: need at least one connection");
+  const double aggregate = loss_limited_bps(link) * static_cast<double>(connections);
+  return Rate::from_bps(std::min(link.down.bps(), aggregate));
+}
+
+}  // namespace bblab::netsim

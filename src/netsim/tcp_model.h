@@ -1,0 +1,53 @@
+// Steady-state TCP throughput model.
+//
+// The paper's §7 result — very high latency and loss mechanically and
+// behaviorally depress demand — needs a throughput model that couples
+// link quality to achievable rates. We use the Mathis et al. square-root
+// formula (rate ≈ MSS/RTT · C/√p) with a slow-start-bounded cap for short
+// transfers, clamped by the provisioned capacity. This is the standard
+// flow-level abstraction: accurate enough for 30-second demand statistics
+// without simulating individual packets.
+#pragma once
+
+#include "core/units.h"
+#include "netsim/link.h"
+
+namespace bblab::netsim {
+
+struct TcpModelParams {
+  double mss_bytes{1460.0};
+  /// Mathis constant sqrt(3/2) for periodic loss.
+  double mathis_c{1.2247};
+  /// Loss floor below which a path is treated as loss-free (the formula
+  /// diverges as p -> 0; real flows become capacity- or app-limited).
+  double loss_floor{1e-6};
+  /// Receive-window bound in bytes (64 KiB classic window without scaling
+  /// is too strict for 2011+; 512 KiB models tuned stacks).
+  double max_window_bytes{512.0 * 1024.0};
+};
+
+class TcpModel {
+ public:
+  explicit TcpModel(TcpModelParams params = {}) : params_{params} {}
+
+  /// Long-flow steady-state throughput on `link` (single connection).
+  [[nodiscard]] Rate steady_throughput(const AccessLink& link) const;
+
+  /// Throughput for a transfer of `volume_bytes`, accounting for slow
+  /// start: short transfers on long-RTT paths never reach steady state.
+  /// Returns the effective average rate over the transfer.
+  [[nodiscard]] Rate transfer_throughput(const AccessLink& link, double volume_bytes) const;
+
+  /// Aggregate throughput of `n` parallel connections (BitTorrent and
+  /// modern browsers open many): loss-limited rate scales ~linearly until
+  /// the capacity clamp binds.
+  [[nodiscard]] Rate parallel_throughput(const AccessLink& link, int connections) const;
+
+  [[nodiscard]] const TcpModelParams& params() const { return params_; }
+
+ private:
+  [[nodiscard]] double loss_limited_bps(const AccessLink& link) const;
+  TcpModelParams params_;
+};
+
+}  // namespace bblab::netsim

@@ -1,0 +1,85 @@
+#include "stats/binomial.h"
+
+#include <array>
+#include <cmath>
+#include <cstdio>
+
+#include "core/error.h"
+
+namespace bblab::stats {
+
+double log_choose(std::uint64_t n, std::uint64_t k) {
+  require(k <= n, "log_choose: k must be <= n");
+  return std::lgamma(static_cast<double>(n) + 1.0) -
+         std::lgamma(static_cast<double>(k) + 1.0) -
+         std::lgamma(static_cast<double>(n - k) + 1.0);
+}
+
+double binomial_pmf(std::uint64_t k, std::uint64_t n, double p) {
+  require(p >= 0.0 && p <= 1.0, "binomial_pmf: p must be in [0,1]");
+  if (k > n) return 0.0;
+  if (p == 0.0) return k == 0 ? 1.0 : 0.0;
+  if (p == 1.0) return k == n ? 1.0 : 0.0;
+  const double logp = log_choose(n, k) + static_cast<double>(k) * std::log(p) +
+                      static_cast<double>(n - k) * std::log1p(-p);
+  return std::exp(logp);
+}
+
+namespace {
+
+/// Sum of PMF over [k_lo, k_hi] done in the direction of decreasing mass,
+/// accumulating from the small end for accuracy.
+double pmf_sum(std::uint64_t k_lo, std::uint64_t k_hi, std::uint64_t n, double p) {
+  if (k_lo > k_hi) return 0.0;
+  // Recurrence: pmf(k+1) = pmf(k) * (n-k)/(k+1) * p/(1-p). Start from the
+  // end of the range with smaller mass to minimize rounding.
+  double total = 0.0;
+  double term = binomial_pmf(k_lo, n, p);
+  const double odds = p / (1.0 - p);
+  for (std::uint64_t k = k_lo;; ++k) {
+    total += term;
+    if (k == k_hi) break;
+    term *= static_cast<double>(n - k) / static_cast<double>(k + 1) * odds;
+  }
+  return total;
+}
+
+}  // namespace
+
+double binomial_p_greater(std::uint64_t successes, std::uint64_t trials, double p0) {
+  require(p0 > 0.0 && p0 < 1.0, "binomial test: p0 must be in (0,1)");
+  require(successes <= trials, "binomial test: successes must be <= trials");
+  if (trials == 0) return 1.0;
+  const double p = pmf_sum(successes, trials, trials, p0);
+  return std::min(1.0, p);
+}
+
+double binomial_p_less(std::uint64_t successes, std::uint64_t trials, double p0) {
+  require(p0 > 0.0 && p0 < 1.0, "binomial test: p0 must be in (0,1)");
+  require(successes <= trials, "binomial test: successes must be <= trials");
+  if (trials == 0) return 1.0;
+  const double p = pmf_sum(0, successes, trials, p0);
+  return std::min(1.0, p);
+}
+
+std::string BinomialTestResult::to_string() const {
+  std::array<char, 128> buf{};
+  std::snprintf(buf.data(), buf.size(), "%.1f%% H holds (n=%llu, p=%.3g)%s",
+                fraction * 100.0, static_cast<unsigned long long>(trials), p_value,
+                conclusive() ? "" : " *");
+  return std::string{buf.data()};
+}
+
+BinomialTestResult binomial_test(std::uint64_t successes, std::uint64_t trials,
+                                 double p0, double alpha, double practical_margin) {
+  BinomialTestResult r;
+  r.successes = successes;
+  r.trials = trials;
+  r.fraction = trials > 0 ? static_cast<double>(successes) / static_cast<double>(trials) : 0.0;
+  r.p_value = binomial_p_greater(successes, trials, p0);
+  r.significant = trials > 0 && r.p_value < alpha;
+  r.practical = trials > 0 && r.fraction >= p0 + practical_margin;
+  return r;
+}
+
+}  // namespace bblab::stats

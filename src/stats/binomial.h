@@ -1,0 +1,52 @@
+// Binomial significance testing.
+//
+// The paper's natural experiments reduce each matched pair to a Bernoulli
+// outcome ("did the treated user impose higher demand?") and test the
+// fraction of successes against fairness (p0 = 0.5) with a one-tailed
+// binomial test, rejecting H0 at p < 0.05. Because huge samples make even
+// trivial deviations significant, the paper additionally requires the
+// effect to exceed 52% ("practical importance"). Both rules live here.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace bblab::stats {
+
+/// Exact one-tailed binomial p-value: P(X >= successes | n, p0).
+/// Uses log-space summation of the tail (numerically stable for n in the
+/// hundreds of thousands). `trials` == 0 yields 1.0.
+[[nodiscard]] double binomial_p_greater(std::uint64_t successes, std::uint64_t trials,
+                                        double p0 = 0.5);
+
+/// Exact lower-tail p-value: P(X <= successes | n, p0).
+[[nodiscard]] double binomial_p_less(std::uint64_t successes, std::uint64_t trials,
+                                     double p0 = 0.5);
+
+/// log C(n, k) via lgamma.
+[[nodiscard]] double log_choose(std::uint64_t n, std::uint64_t k);
+
+/// Binomial probability mass P(X == k | n, p).
+[[nodiscard]] double binomial_pmf(std::uint64_t k, std::uint64_t n, double p);
+
+/// Outcome of the paper's decision procedure on a matched-pair experiment.
+struct BinomialTestResult {
+  std::uint64_t successes{0};
+  std::uint64_t trials{0};
+  double fraction{0.0};       ///< successes / trials ("% H holds").
+  double p_value{1.0};        ///< one-tailed, H1: fraction > p0.
+  bool significant{false};    ///< p < alpha.
+  bool practical{false};      ///< fraction >= p0 + practical_margin.
+
+  /// The paper reports a result as supporting H only when both hold.
+  [[nodiscard]] bool conclusive() const { return significant && practical; }
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Run the full decision procedure (alpha = 0.05, margin = 0.02 per §2.3).
+[[nodiscard]] BinomialTestResult binomial_test(std::uint64_t successes,
+                                               std::uint64_t trials, double p0 = 0.5,
+                                               double alpha = 0.05,
+                                               double practical_margin = 0.02);
+
+}  // namespace bblab::stats

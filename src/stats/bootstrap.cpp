@@ -1,0 +1,35 @@
+#include "stats/bootstrap.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "core/error.h"
+#include "stats/quantile.h"
+
+namespace bblab::stats {
+
+BootstrapCi bootstrap_ci(std::span<const double> sample,
+                         const std::function<double(std::span<const double>)>& statistic,
+                         Rng& rng, std::size_t resamples, double confidence) {
+  require(!sample.empty(), "bootstrap_ci: sample must be non-empty");
+  require(resamples >= 10, "bootstrap_ci: need at least 10 resamples");
+  require(confidence > 0.0 && confidence < 1.0, "bootstrap_ci: confidence in (0,1)");
+
+  BootstrapCi ci;
+  ci.estimate = statistic(sample);
+
+  std::vector<double> resample(sample.size());
+  std::vector<double> estimates;
+  estimates.reserve(resamples);
+  for (std::size_t r = 0; r < resamples; ++r) {
+    for (auto& x : resample) x = sample[rng.index(sample.size())];
+    estimates.push_back(statistic(resample));
+  }
+  std::sort(estimates.begin(), estimates.end());
+  const double tail = (1.0 - confidence) / 2.0;
+  ci.lo = quantile_sorted(estimates, tail);
+  ci.hi = quantile_sorted(estimates, 1.0 - tail);
+  return ci;
+}
+
+}  // namespace bblab::stats

@@ -1,0 +1,28 @@
+// Bootstrap resampling.
+//
+// Used for confidence intervals of statistics with no closed-form standard
+// error (medians, percentile ratios) and by tests to sanity-check the
+// analytic CIs the figures print.
+#pragma once
+
+#include <functional>
+#include <span>
+
+#include "core/rng.h"
+
+namespace bblab::stats {
+
+struct BootstrapCi {
+  double estimate{0.0};  ///< statistic on the original sample
+  double lo{0.0};        ///< percentile CI lower bound
+  double hi{0.0};        ///< percentile CI upper bound
+};
+
+/// Percentile-method bootstrap CI of `statistic` over `sample`.
+/// `confidence` in (0,1), e.g. 0.95.
+[[nodiscard]] BootstrapCi bootstrap_ci(
+    std::span<const double> sample,
+    const std::function<double(std::span<const double>)>& statistic, Rng& rng,
+    std::size_t resamples = 1000, double confidence = 0.95);
+
+}  // namespace bblab::stats

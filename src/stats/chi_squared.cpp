@@ -1,0 +1,89 @@
+#include "stats/chi_squared.h"
+
+#include <array>
+#include <cmath>
+#include <cstdio>
+
+#include "core/error.h"
+
+namespace bblab::stats {
+
+double regularized_gamma_p(double a, double x) {
+  require(a > 0.0, "regularized_gamma_p: a must be positive");
+  require(x >= 0.0, "regularized_gamma_p: x must be non-negative");
+  if (x == 0.0) return 0.0;
+
+  const double log_gamma_a = std::lgamma(a);
+  if (x < a + 1.0) {
+    // Series: P(a,x) = x^a e^-x / Γ(a) * Σ x^n / (a(a+1)...(a+n)).
+    double term = 1.0 / a;
+    double sum = term;
+    for (int n = 1; n < 500; ++n) {
+      term *= x / (a + n);
+      sum += term;
+      if (std::fabs(term) < std::fabs(sum) * 1e-15) break;
+    }
+    return sum * std::exp(-x + a * std::log(x) - log_gamma_a);
+  }
+  // Continued fraction for Q(a,x) (Lentz's algorithm), P = 1 - Q.
+  constexpr double kTiny = 1e-300;
+  double b = x + 1.0 - a;
+  double c = 1.0 / kTiny;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i < 500; ++i) {
+    const double an = -static_cast<double>(i) * (static_cast<double>(i) - a);
+    b += 2.0;
+    d = an * d + b;
+    if (std::fabs(d) < kTiny) d = kTiny;
+    c = b + an / c;
+    if (std::fabs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    const double delta = d * c;
+    h *= delta;
+    if (std::fabs(delta - 1.0) < 1e-15) break;
+  }
+  const double q = std::exp(-x + a * std::log(x) - log_gamma_a) * h;
+  return 1.0 - q;
+}
+
+double chi_squared_sf(double statistic, double dof) {
+  require(dof > 0.0, "chi_squared_sf: dof must be positive");
+  require(statistic >= 0.0, "chi_squared_sf: statistic must be non-negative");
+  return 1.0 - regularized_gamma_p(dof / 2.0, statistic / 2.0);
+}
+
+std::string ChiSquaredResult::to_string() const {
+  std::array<char, 96> buf{};
+  std::snprintf(buf.data(), buf.size(), "chi2=%.3f dof=%.0f p=%.3g", statistic, dof,
+                p_value);
+  return std::string{buf.data()};
+}
+
+ChiSquaredResult chi_squared_gof(std::span<const double> observed,
+                                 std::span<const double> expected,
+                                 int estimated_params) {
+  require(observed.size() == expected.size(), "chi_squared_gof: size mismatch");
+  require(observed.size() >= 2, "chi_squared_gof: need at least two cells");
+  ChiSquaredResult result;
+  for (std::size_t i = 0; i < observed.size(); ++i) {
+    require(expected[i] > 0.0, "chi_squared_gof: expected counts must be positive");
+    const double d = observed[i] - expected[i];
+    result.statistic += d * d / expected[i];
+  }
+  result.dof = static_cast<double>(observed.size()) - 1.0 - estimated_params;
+  require(result.dof > 0.0, "chi_squared_gof: no degrees of freedom left");
+  result.p_value = chi_squared_sf(result.statistic, result.dof);
+  return result;
+}
+
+ChiSquaredResult chi_squared_fair_coin(std::uint64_t wins, std::uint64_t losses) {
+  const double n = static_cast<double>(wins + losses);
+  require(n > 0, "chi_squared_fair_coin: need at least one trial");
+  const std::array<double, 2> observed{static_cast<double>(wins),
+                                       static_cast<double>(losses)};
+  const std::array<double, 2> expected{n / 2.0, n / 2.0};
+  return chi_squared_gof(observed, expected);
+}
+
+}  // namespace bblab::stats

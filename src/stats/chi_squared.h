@@ -1,0 +1,42 @@
+// Chi-squared goodness-of-fit.
+//
+// §2.3 of the paper leans on Paxson's observation that "with a large
+// enough sample of throws, an unbiased coin could fail to pass a χ2 test
+// for fitting the predicted binomial distribution" — the motivation for
+// its 2% practical-importance margin. We implement the test itself so the
+// harness can demonstrate that exact phenomenon (see the binomial bench
+// and tests), plus the regularized incomplete gamma function it needs.
+#pragma once
+
+#include <span>
+#include <string>
+
+namespace bblab::stats {
+
+/// Regularized lower incomplete gamma P(a, x) = γ(a, x) / Γ(a).
+/// Series expansion for x < a+1, continued fraction otherwise.
+[[nodiscard]] double regularized_gamma_p(double a, double x);
+
+/// Upper-tail probability of a chi-squared variate with `dof` degrees of
+/// freedom exceeding `statistic`.
+[[nodiscard]] double chi_squared_sf(double statistic, double dof);
+
+struct ChiSquaredResult {
+  double statistic{0.0};
+  double dof{0.0};
+  double p_value{1.0};
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Pearson goodness-of-fit of observed counts against expected counts
+/// (same length, expected all positive; dof = k - 1 - `estimated_params`).
+[[nodiscard]] ChiSquaredResult chi_squared_gof(std::span<const double> observed,
+                                               std::span<const double> expected,
+                                               int estimated_params = 0);
+
+/// Convenience: test a win/loss split against a fair coin.
+[[nodiscard]] ChiSquaredResult chi_squared_fair_coin(std::uint64_t wins,
+                                                     std::uint64_t losses);
+
+}  // namespace bblab::stats

@@ -1,0 +1,64 @@
+// Descriptive statistics: means, variances, confidence intervals.
+//
+// Every figure in the paper reports either a mean with a 95% confidence
+// interval (error bars) or a distribution summary; these helpers are the
+// single implementation all pipelines share.
+#pragma once
+
+#include <span>
+#include <string>
+
+namespace bblab::stats {
+
+/// Mean of a sample. Empty input -> 0.
+[[nodiscard]] double mean(std::span<const double> xs);
+
+/// Unbiased sample variance (n-1 denominator). Fewer than 2 values -> 0.
+[[nodiscard]] double variance(std::span<const double> xs);
+
+/// Sample standard deviation.
+[[nodiscard]] double stddev(std::span<const double> xs);
+
+/// Standard error of the mean.
+[[nodiscard]] double sem(std::span<const double> xs);
+
+/// A mean with its symmetric 95% confidence half-width (normal
+/// approximation, 1.96 * SEM — the paper's error bars).
+struct MeanCi {
+  double mean{0.0};
+  double half_width{0.0};
+  std::size_t n{0};
+
+  [[nodiscard]] double lo() const { return mean - half_width; }
+  [[nodiscard]] double hi() const { return mean + half_width; }
+  [[nodiscard]] std::string to_string() const;
+};
+
+[[nodiscard]] MeanCi mean_ci95(std::span<const double> xs);
+
+/// Streaming accumulator (Welford) for single-pass mean/variance when the
+/// sample is produced incrementally by the simulator.
+class RunningStats {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return mean_; }
+  [[nodiscard]] double variance() const;  // unbiased; <2 samples -> 0
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
+  [[nodiscard]] double sum() const { return mean_ * static_cast<double>(n_); }
+
+  /// Merge another accumulator (parallel reduction).
+  void merge(const RunningStats& other);
+
+ private:
+  std::size_t n_{0};
+  double mean_{0.0};
+  double m2_{0.0};
+  double min_{0.0};
+  double max_{0.0};
+};
+
+}  // namespace bblab::stats

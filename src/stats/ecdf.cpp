@@ -1,0 +1,78 @@
+#include "stats/ecdf.h"
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+
+#include "core/error.h"
+#include "stats/quantile.h"
+
+namespace bblab::stats {
+
+Ecdf::Ecdf(std::span<const double> sample) : sorted_{sample.begin(), sample.end()} {
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double Ecdf::operator()(double x) const {
+  if (sorted_.empty()) return 0.0;
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) / static_cast<double>(sorted_.size());
+}
+
+double Ecdf::inverse(double q) const { return quantile_sorted(sorted_, q); }
+
+double Ecdf::min() const {
+  require(!sorted_.empty(), "Ecdf::min on empty ECDF");
+  return sorted_.front();
+}
+
+double Ecdf::max() const {
+  require(!sorted_.empty(), "Ecdf::max on empty ECDF");
+  return sorted_.back();
+}
+
+std::vector<Ecdf::Point> Ecdf::points() const {
+  std::vector<Point> out;
+  out.reserve(sorted_.size());
+  const auto n = static_cast<double>(sorted_.size());
+  for (std::size_t i = 0; i < sorted_.size(); ++i) {
+    out.push_back({sorted_[i], static_cast<double>(i + 1) / n});
+  }
+  return out;
+}
+
+std::vector<Ecdf::Point> Ecdf::sampled(std::size_t resolution) const {
+  require(resolution >= 2, "Ecdf::sampled needs resolution >= 2");
+  std::vector<Point> out;
+  if (sorted_.empty()) return out;
+  out.reserve(resolution);
+  for (std::size_t i = 0; i < resolution; ++i) {
+    const double q = static_cast<double>(i) / static_cast<double>(resolution - 1);
+    out.push_back({inverse(q), q});
+  }
+  return out;
+}
+
+std::string Ecdf::summary() const {
+  if (sorted_.empty()) return "(empty)";
+  static constexpr std::array<double, 7> kQs{0.05, 0.10, 0.25, 0.50, 0.75, 0.90, 0.95};
+  std::string s;
+  std::array<char, 64> buf{};
+  for (const double q : kQs) {
+    std::snprintf(buf.data(), buf.size(), "p%02d=%.4g ", static_cast<int>(q * 100),
+                  inverse(q));
+    s += buf.data();
+  }
+  if (!s.empty()) s.pop_back();
+  return s;
+}
+
+double ks_statistic(const Ecdf& a, const Ecdf& b) {
+  require(!a.empty() && !b.empty(), "ks_statistic: both ECDFs must be non-empty");
+  double d = 0.0;
+  for (const double x : a.sorted()) d = std::max(d, std::abs(a(x) - b(x)));
+  for (const double x : b.sorted()) d = std::max(d, std::abs(a(x) - b(x)));
+  return d;
+}
+
+}  // namespace bblab::stats

@@ -1,0 +1,57 @@
+// Empirical cumulative distribution functions.
+//
+// Nearly half the paper's figures are CDFs (capacity, latency, loss,
+// utilization, upgrade cost...). Ecdf owns a sorted copy of the sample and
+// supports evaluation, inversion, and export of plot-ready (x, F(x)) series.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace bblab::stats {
+
+class Ecdf {
+ public:
+  Ecdf() = default;
+  explicit Ecdf(std::span<const double> sample);
+
+  [[nodiscard]] bool empty() const { return sorted_.empty(); }
+  [[nodiscard]] std::size_t size() const { return sorted_.size(); }
+
+  /// F(x) = fraction of sample <= x. Empty ECDF -> 0.
+  [[nodiscard]] double operator()(double x) const;
+
+  /// Inverse CDF (quantile function), linear interpolation, q in [0,1].
+  [[nodiscard]] double inverse(double q) const;
+
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+
+  /// Plot-ready series of (value, cumulative fraction) — one point per
+  /// sample element, as a step-function upper trace.
+  struct Point {
+    double x;
+    double f;
+  };
+  [[nodiscard]] std::vector<Point> points() const;
+
+  /// Downsampled series for compact text rendering: the quantiles at
+  /// `resolution` evenly spaced cumulative fractions.
+  [[nodiscard]] std::vector<Point> sampled(std::size_t resolution) const;
+
+  /// Render as a fixed set of quantile milestones ("p10=.. p25=.. ...") for
+  /// benches that print CDF shape comparisons.
+  [[nodiscard]] std::string summary() const;
+
+  [[nodiscard]] const std::vector<double>& sorted() const { return sorted_; }
+
+ private:
+  std::vector<double> sorted_;
+};
+
+/// Two-sample Kolmogorov–Smirnov statistic: sup_x |F1(x) - F2(x)|.
+/// Used by tests to compare generated distributions against targets.
+[[nodiscard]] double ks_statistic(const Ecdf& a, const Ecdf& b);
+
+}  // namespace bblab::stats

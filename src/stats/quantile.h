@@ -1,0 +1,32 @@
+// Quantiles and percentiles.
+//
+// The paper's headline usage metric is the 95th percentile of the 30-second
+// demand time series ("peak usage"); medians and interquartile ranges show
+// up in every dataset characterization. We use the linear-interpolation
+// estimator (R type 7, the numpy/matplotlib default the paper's plots used).
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace bblab::stats {
+
+/// Quantile q in [0,1] of an UNSORTED sample (copies + sorts internally).
+/// Empty input -> 0.
+[[nodiscard]] double quantile(std::span<const double> xs, double q);
+
+/// Quantile of an already-sorted (ascending) sample; no allocation.
+[[nodiscard]] double quantile_sorted(std::span<const double> sorted, double q);
+
+/// Convenience percentile wrappers.
+[[nodiscard]] inline double median(std::span<const double> xs) { return quantile(xs, 0.5); }
+[[nodiscard]] inline double p95(std::span<const double> xs) { return quantile(xs, 0.95); }
+
+/// Interquartile range (Q3 - Q1).
+[[nodiscard]] double iqr(std::span<const double> xs);
+
+/// Several quantiles in one sort.
+[[nodiscard]] std::vector<double> quantiles(std::span<const double> xs,
+                                            std::span<const double> qs);
+
+}  // namespace bblab::stats

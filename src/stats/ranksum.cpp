@@ -1,0 +1,72 @@
+#include "stats/ranksum.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "core/error.h"
+#include "stats/correlation.h"
+
+namespace bblab::stats {
+
+double normal_sf(double z) { return 0.5 * std::erfc(z / std::sqrt(2.0)); }
+
+std::string RankSumResult::to_string() const {
+  std::array<char, 128> buf{};
+  std::snprintf(buf.data(), buf.size(), "U=%.0f z=%.2f p=%.3g effect=%.3f", u, z,
+                p_greater, effect_size);
+  return std::string{buf.data()};
+}
+
+RankSumResult rank_sum_test(std::span<const double> xs, std::span<const double> ys) {
+  require(!xs.empty() && !ys.empty(), "rank_sum_test: both samples must be non-empty");
+  const auto n1 = static_cast<double>(xs.size());
+  const auto n2 = static_cast<double>(ys.size());
+
+  // Midranks over the pooled sample.
+  std::vector<double> pooled;
+  pooled.reserve(xs.size() + ys.size());
+  pooled.insert(pooled.end(), xs.begin(), xs.end());
+  pooled.insert(pooled.end(), ys.begin(), ys.end());
+  const auto r = ranks(pooled);
+
+  double rank_sum_x = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) rank_sum_x += r[i];
+
+  RankSumResult result;
+  result.u = rank_sum_x - n1 * (n1 + 1.0) / 2.0;
+  result.effect_size = result.u / (n1 * n2);
+
+  // Tie-corrected variance of U.
+  std::vector<double> sorted = pooled;
+  std::sort(sorted.begin(), sorted.end());
+  double tie_term = 0.0;
+  std::size_t i = 0;
+  while (i < sorted.size()) {
+    std::size_t j = i;
+    while (j + 1 < sorted.size() && sorted[j + 1] == sorted[i]) ++j;
+    const auto t = static_cast<double>(j - i + 1);
+    tie_term += t * t * t - t;
+    i = j + 1;
+  }
+  const double n = n1 + n2;
+  const double mu = n1 * n2 / 2.0;
+  const double sigma2 = n1 * n2 / 12.0 * ((n + 1.0) - tie_term / (n * (n - 1.0)));
+  if (sigma2 <= 0.0) {
+    // All values identical: no evidence either way.
+    result.z = 0.0;
+    result.p_greater = 0.5;
+    result.p_two_sided = 1.0;
+    return result;
+  }
+  // Continuity correction toward the mean.
+  const double shift = result.u > mu ? -0.5 : (result.u < mu ? 0.5 : 0.0);
+  result.z = (result.u - mu + shift) / std::sqrt(sigma2);
+  result.p_greater = normal_sf(result.z);
+  result.p_two_sided = std::min(1.0, 2.0 * normal_sf(std::fabs(result.z)));
+  return result;
+}
+
+}  // namespace bblab::stats

@@ -1,0 +1,32 @@
+// Mann-Whitney U (Wilcoxon rank-sum) test.
+//
+// Distribution-level comparison used alongside the CDF figures: is the
+// "fast network" usage distribution of Fig. 4 stochastically larger than
+// the "slow network" one? Normal approximation with tie correction —
+// exact enumeration is pointless at the sample sizes the figures carry.
+#pragma once
+
+#include <span>
+#include <string>
+
+namespace bblab::stats {
+
+struct RankSumResult {
+  double u{0.0};             ///< U statistic for the first sample
+  double z{0.0};             ///< normal-approximation z-score
+  double p_greater{1.0};     ///< one-tailed: P(first sample stochastically larger)
+  double p_two_sided{1.0};
+  /// Common-language effect size: P(X > Y) + 0.5 P(X == Y).
+  double effect_size{0.5};
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Rank-sum test of `xs` vs `ys`. Both samples must be non-empty.
+[[nodiscard]] RankSumResult rank_sum_test(std::span<const double> xs,
+                                          std::span<const double> ys);
+
+/// Standard normal upper-tail probability (exposed for testing).
+[[nodiscard]] double normal_sf(double z);
+
+}  // namespace bblab::stats

@@ -1,0 +1,82 @@
+#include "analysis/common.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace bblab::analysis {
+namespace {
+
+dataset::UserRecord record(const std::string& country, double cap_mbps, double rtt,
+                           double loss, double mean_kbps, double peak_kbps) {
+  dataset::UserRecord r;
+  r.country_code = country;
+  r.capacity = Rate::from_mbps(cap_mbps);
+  r.rtt_ms = rtt;
+  r.loss = loss;
+  r.access_price = MoneyPpp::usd(20.0);
+  r.upgrade_cost_per_mbps = 1.0;
+  r.usage.mean_down = Rate::from_kbps(mean_kbps);
+  r.usage.peak_down = Rate::from_kbps(peak_kbps);
+  r.usage.mean_down_no_bt = Rate::from_kbps(mean_kbps * 0.8);
+  r.usage.peak_down_no_bt = Rate::from_kbps(peak_kbps * 0.8);
+  return r;
+}
+
+TEST(AnalysisCommon, MetricSelectors) {
+  const auto r = record("US", 10, 40, 0.001, 100, 900);
+  EXPECT_DOUBLE_EQ(mean_down_bps(r, true), 100e3);
+  EXPECT_DOUBLE_EQ(mean_down_bps(r, false), 80e3);
+  EXPECT_DOUBLE_EQ(peak_down_bps(r, true), 900e3);
+  EXPECT_DOUBLE_EQ(peak_down_bps(r, false), 720e3);
+}
+
+TEST(AnalysisCommon, FilterAndColumn) {
+  const auto a = record("US", 10, 40, 0.001, 100, 900);
+  const auto b = record("JP", 50, 30, 0.0004, 200, 1500);
+  const std::vector<RecordPtr> records{&a, &b};
+  const auto us = filter(records, [](const dataset::UserRecord& r) {
+    return r.country_code == "US";
+  });
+  ASSERT_EQ(us.size(), 1u);
+  const auto caps =
+      column(records, [](const dataset::UserRecord& r) { return r.capacity.mbps(); });
+  EXPECT_EQ(caps, (std::vector<double>{10.0, 50.0}));
+}
+
+TEST(AnalysisCommon, MakeUnitsSkipsNonFinite) {
+  auto good = record("US", 10, 40, 0.001, 100, 900);
+  auto bad = record("AF", 1, 300, 0.01, 50, 400);
+  bad.upgrade_cost_per_mbps = std::nan("");  // weakly-correlated market
+  const std::vector<RecordPtr> records{&good, &bad};
+  const auto units =
+      make_units(records, [](const dataset::UserRecord& r) { return peak_down_bps(r, false); },
+                 covariates_quality_and_market());
+  ASSERT_EQ(units.size(), 1u);
+  EXPECT_EQ(units[0].tag, 0u);
+  EXPECT_EQ(units[0].covariates.size(), 4u);
+  EXPECT_DOUBLE_EQ(units[0].covariates[0], 40.0);   // rtt
+  EXPECT_DOUBLE_EQ(units[0].covariates[2], 20.0);   // access price
+}
+
+TEST(AnalysisCommon, CovariateSetDimensions) {
+  EXPECT_EQ(covariates_quality_and_market().size(), 4u);
+  EXPECT_EQ(covariates_capacity_and_market().size(), 3u);
+  EXPECT_EQ(covariates_capacity_quality().size(), 3u);
+  EXPECT_EQ(covariates_quality().size(), 2u);
+  EXPECT_EQ(covariates_price_experiment().size(), 4u);
+  EXPECT_EQ(covariates_upgrade_cost_experiment().size(), 4u);
+  EXPECT_EQ(covariates_latency_experiment().size(), 3u);
+  EXPECT_EQ(covariates_loss_experiment().size(), 3u);
+}
+
+TEST(AnalysisCommon, PeakUtilization) {
+  auto r = record("US", 10, 40, 0.001, 100, 2500);
+  EXPECT_NEAR(r.peak_utilization(), 0.25, 1e-12);
+  EXPECT_NEAR(r.peak_utilization_no_bt(), 0.20, 1e-12);
+  r.capacity = Rate{};
+  EXPECT_DOUBLE_EQ(r.peak_utilization(), 0.0);
+}
+
+}  // namespace
+}  // namespace bblab::analysis

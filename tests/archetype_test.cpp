@@ -1,0 +1,45 @@
+#include "behavior/archetype.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace bblab::behavior {
+namespace {
+
+TEST(Archetype, TraitsAreOrdered) {
+  EXPECT_LT(traits_of(Archetype::kLight).base_intensity,
+            traits_of(Archetype::kBrowser).base_intensity);
+  EXPECT_GT(traits_of(Archetype::kPowerUser).base_intensity,
+            traits_of(Archetype::kBrowser).base_intensity);
+  EXPECT_GT(traits_of(Archetype::kBtHeavy).bt_sessions_per_day,
+            traits_of(Archetype::kBrowser).bt_sessions_per_day);
+  EXPECT_EQ(traits_of(Archetype::kLight).bt_sessions_per_day, 0.0);
+  EXPECT_GT(traits_of(Archetype::kStreamer).video_top_mbps,
+            traits_of(Archetype::kLight).video_top_mbps);
+}
+
+TEST(Archetype, LabelsAreDistinct) {
+  std::map<std::string, int> seen;
+  for (const auto a : all_archetypes()) ++seen[archetype_label(a)];
+  EXPECT_EQ(seen.size(), all_archetypes().size());
+}
+
+TEST(ArchetypeMix, SampleFollowsWeights) {
+  const ArchetypeMix mix = ArchetypeMix::dasu();
+  Rng rng{3};
+  std::map<Archetype, int> counts;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) ++counts[mix.sample(rng)];
+  EXPECT_NEAR(counts[Archetype::kBtHeavy] / static_cast<double>(kN), 0.20, 0.01);
+  EXPECT_NEAR(counts[Archetype::kBrowser] / static_cast<double>(kN), 0.28, 0.01);
+}
+
+TEST(ArchetypeMix, DasuSkewsTowardBitTorrent) {
+  // The Dasu population reaches users through a BitTorrent extension; the
+  // FCC panel does not.
+  EXPECT_GT(ArchetypeMix::dasu().bt_heavy, 3.0 * ArchetypeMix::fcc().bt_heavy);
+}
+
+}  // namespace
+}  // namespace bblab::behavior

@@ -1,0 +1,122 @@
+#include "stats/binomial.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/error.h"
+
+namespace bblab::stats {
+namespace {
+
+TEST(LogChoose, SmallValuesExact) {
+  EXPECT_NEAR(std::exp(log_choose(5, 2)), 10.0, 1e-9);
+  EXPECT_NEAR(std::exp(log_choose(10, 0)), 1.0, 1e-9);
+  EXPECT_NEAR(std::exp(log_choose(10, 10)), 1.0, 1e-9);
+  EXPECT_NEAR(std::exp(log_choose(52, 5)), 2598960.0, 1.0);
+  EXPECT_THROW(log_choose(3, 4), InvalidArgument);
+}
+
+TEST(BinomialPmf, SumsToOne) {
+  for (const double p : {0.1, 0.5, 0.9}) {
+    double total = 0.0;
+    for (std::uint64_t k = 0; k <= 30; ++k) total += binomial_pmf(k, 30, p);
+    EXPECT_NEAR(total, 1.0, 1e-10) << "p=" << p;
+  }
+}
+
+TEST(BinomialPmf, DegenerateP) {
+  EXPECT_DOUBLE_EQ(binomial_pmf(0, 10, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(binomial_pmf(3, 10, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(binomial_pmf(10, 10, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(binomial_pmf(11, 10, 0.5), 0.0);
+}
+
+TEST(BinomialPGreater, MatchesHandComputedValues) {
+  // Fair coin, 10 flips, >= 8 heads: (45 + 10 + 1)/1024.
+  EXPECT_NEAR(binomial_p_greater(8, 10), 56.0 / 1024.0, 1e-12);
+  // >= 0 successes is certain.
+  EXPECT_DOUBLE_EQ(binomial_p_greater(0, 10), 1.0);
+  // All successes: (1/2)^10.
+  EXPECT_NEAR(binomial_p_greater(10, 10), std::pow(0.5, 10), 1e-15);
+}
+
+TEST(BinomialPLess, ComplementsUpperTail) {
+  // P(X <= k) + P(X >= k+1) == 1 exactly.
+  for (std::uint64_t k = 0; k < 20; ++k) {
+    EXPECT_NEAR(binomial_p_less(k, 20) + binomial_p_greater(k + 1, 20), 1.0, 1e-10);
+  }
+}
+
+TEST(BinomialPGreater, LargeSampleStaysStable) {
+  // 52% of 100k should be extremely significant against p0=0.5...
+  const double p = binomial_p_greater(52000, 100000);
+  EXPECT_LT(p, 1e-30);
+  EXPECT_GT(p, 0.0);
+  // ...while 50.1% is not.
+  EXPECT_GT(binomial_p_greater(50100, 100000), 0.2);
+}
+
+TEST(BinomialPGreater, PaperScaleValues) {
+  // Table 1 of the paper: 66.8% of ~1200 pairs gives p ~ 1e-25.
+  // Reconstruct the scale: successes/trials that match 66.8% with the
+  // reported p-value magnitude.
+  const double p = binomial_p_greater(802, 1200);
+  EXPECT_LT(p, 1e-20);
+}
+
+TEST(BinomialTest, DecisionRuleMatchesPaper) {
+  // Conclusive: 60% of 1000 pairs.
+  const auto strong = binomial_test(600, 1000);
+  EXPECT_TRUE(strong.significant);
+  EXPECT_TRUE(strong.practical);
+  EXPECT_TRUE(strong.conclusive());
+
+  // Statistically significant but below the 52% practical margin: the
+  // paper's guard against large-sample trivia.
+  const auto trivial = binomial_test(51000, 100000);
+  EXPECT_TRUE(trivial.significant);
+  EXPECT_FALSE(trivial.practical);
+  EXPECT_FALSE(trivial.conclusive());
+
+  // Small sample at 60%: practical but not significant.
+  const auto small = binomial_test(6, 10);
+  EXPECT_FALSE(small.significant);
+  EXPECT_TRUE(small.practical);
+  EXPECT_FALSE(small.conclusive());
+}
+
+TEST(BinomialTest, EmptyTrialsAreInconclusive) {
+  const auto r = binomial_test(0, 0);
+  EXPECT_FALSE(r.significant);
+  EXPECT_FALSE(r.practical);
+  EXPECT_DOUBLE_EQ(r.p_value, 1.0);
+}
+
+TEST(BinomialTest, ValidatesInputs) {
+  EXPECT_THROW(binomial_p_greater(5, 3), InvalidArgument);
+  EXPECT_THROW(binomial_p_greater(1, 2, 0.0), InvalidArgument);
+  EXPECT_THROW(binomial_p_greater(1, 2, 1.0), InvalidArgument);
+}
+
+// Property sweep: exact tail sum equals brute-force PMF accumulation.
+class BinomialTailProperty
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, double>> {};
+
+TEST_P(BinomialTailProperty, TailMatchesBruteForce) {
+  const auto [n, p0] = GetParam();
+  for (std::uint64_t k = 0; k <= n; k += std::max<std::uint64_t>(1, n / 7)) {
+    double brute = 0.0;
+    for (std::uint64_t j = k; j <= n; ++j) brute += binomial_pmf(j, n, p0);
+    EXPECT_NEAR(binomial_p_greater(k, n, p0), std::min(1.0, brute), 1e-9)
+        << "n=" << n << " k=" << k << " p0=" << p0;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, BinomialTailProperty,
+    ::testing::Combine(::testing::Values<std::uint64_t>(1, 7, 50, 333),
+                       ::testing::Values(0.1, 0.5, 0.85)));
+
+}  // namespace
+}  // namespace bblab::stats

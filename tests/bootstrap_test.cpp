@@ -1,0 +1,67 @@
+#include "stats/bootstrap.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/error.h"
+#include "stats/descriptive.h"
+#include "stats/quantile.h"
+
+namespace bblab::stats {
+namespace {
+
+TEST(Bootstrap, MeanCiCoversSampleMean) {
+  Rng rng{3};
+  std::vector<double> xs;
+  for (int i = 0; i < 500; ++i) xs.push_back(rng.normal(10, 2));
+  const auto ci = bootstrap_ci(xs, [](std::span<const double> s) { return mean(s); },
+                               rng, 500);
+  EXPECT_NEAR(ci.estimate, mean(xs), 1e-12);
+  EXPECT_LT(ci.lo, ci.estimate);
+  EXPECT_GT(ci.hi, ci.estimate);
+  EXPECT_NEAR(ci.estimate, 10.0, 0.5);
+}
+
+TEST(Bootstrap, MatchesAnalyticMeanCiWidth) {
+  Rng rng{5};
+  std::vector<double> xs;
+  for (int i = 0; i < 1000; ++i) xs.push_back(rng.normal(0, 1));
+  const auto boot = bootstrap_ci(xs, [](std::span<const double> s) { return mean(s); },
+                                 rng, 2000);
+  const auto analytic = mean_ci95(xs);
+  EXPECT_NEAR(boot.hi - boot.lo, 2 * analytic.half_width, 0.02);
+}
+
+TEST(Bootstrap, WorksForMedian) {
+  Rng rng{7};
+  std::vector<double> xs;
+  for (int i = 0; i < 400; ++i) xs.push_back(rng.lognormal(1.0, 0.6));
+  const auto ci = bootstrap_ci(
+      xs, [](std::span<const double> s) { return quantile(s, 0.5); }, rng, 500);
+  EXPECT_GT(ci.lo, 0.0);
+  EXPECT_LT(ci.lo, ci.hi);
+  // True median of lognormal(1, .6) is e ~ 2.718.
+  EXPECT_NEAR(ci.estimate, 2.718, 0.4);
+}
+
+TEST(Bootstrap, DegenerateSampleGivesPointCi) {
+  Rng rng{9};
+  const std::vector<double> xs(50, 3.0);
+  const auto ci = bootstrap_ci(xs, [](std::span<const double> s) { return mean(s); },
+                               rng, 100);
+  EXPECT_DOUBLE_EQ(ci.lo, 3.0);
+  EXPECT_DOUBLE_EQ(ci.hi, 3.0);
+}
+
+TEST(Bootstrap, ValidatesInputs) {
+  Rng rng{1};
+  const auto stat = [](std::span<const double> s) { return mean(s); };
+  EXPECT_THROW(bootstrap_ci(std::vector<double>{}, stat, rng), InvalidArgument);
+  EXPECT_THROW(bootstrap_ci(std::vector<double>{1.0}, stat, rng, 5), InvalidArgument);
+  EXPECT_THROW(bootstrap_ci(std::vector<double>{1.0}, stat, rng, 100, 1.5),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace bblab::stats

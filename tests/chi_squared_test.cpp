@@ -1,0 +1,93 @@
+#include "stats/chi_squared.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/error.h"
+#include "core/rng.h"
+
+namespace bblab::stats {
+namespace {
+
+TEST(RegularizedGammaP, KnownValues) {
+  // P(1, x) = 1 - e^-x.
+  EXPECT_NEAR(regularized_gamma_p(1.0, 1.0), 1.0 - std::exp(-1.0), 1e-10);
+  EXPECT_NEAR(regularized_gamma_p(1.0, 5.0), 1.0 - std::exp(-5.0), 1e-10);
+  // P(0.5, x) = erf(sqrt(x)).
+  EXPECT_NEAR(regularized_gamma_p(0.5, 2.0), std::erf(std::sqrt(2.0)), 1e-9);
+  EXPECT_DOUBLE_EQ(regularized_gamma_p(3.0, 0.0), 0.0);
+}
+
+TEST(RegularizedGammaP, MonotoneAndBounded) {
+  double prev = -1.0;
+  for (double x = 0.0; x < 30.0; x += 0.5) {
+    const double p = regularized_gamma_p(4.0, x);
+    EXPECT_GE(p, prev - 1e-12);
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0 + 1e-12);
+    prev = p;
+  }
+}
+
+TEST(ChiSquaredSf, ReferenceQuantiles) {
+  // Critical values from standard tables.
+  EXPECT_NEAR(chi_squared_sf(3.841, 1.0), 0.05, 2e-3);
+  EXPECT_NEAR(chi_squared_sf(5.991, 2.0), 0.05, 2e-3);
+  EXPECT_NEAR(chi_squared_sf(6.635, 1.0), 0.01, 1e-3);
+  EXPECT_NEAR(chi_squared_sf(0.0, 3.0), 1.0, 1e-12);
+}
+
+TEST(ChiSquaredGof, UniformDieFits) {
+  // 600 rolls of a fair die, near-uniform counts.
+  const std::vector<double> observed{95, 102, 98, 105, 97, 103};
+  const std::vector<double> expected(6, 100.0);
+  const auto result = chi_squared_gof(observed, expected);
+  EXPECT_DOUBLE_EQ(result.dof, 5.0);
+  EXPECT_GT(result.p_value, 0.5);
+}
+
+TEST(ChiSquaredGof, LoadedDieRejected) {
+  const std::vector<double> observed{150, 90, 90, 90, 90, 90};
+  const std::vector<double> expected(6, 100.0);
+  const auto result = chi_squared_gof(observed, expected);
+  EXPECT_LT(result.p_value, 0.01);
+}
+
+TEST(ChiSquaredGof, Validation) {
+  EXPECT_THROW(chi_squared_gof(std::vector<double>{1.0}, std::vector<double>{1.0}),
+               InvalidArgument);
+  EXPECT_THROW(chi_squared_gof(std::vector<double>{1, 2}, std::vector<double>{1, 0}),
+               InvalidArgument);
+  EXPECT_THROW(chi_squared_gof(std::vector<double>{1, 2}, std::vector<double>{1, 2}, 1),
+               InvalidArgument);
+}
+
+TEST(ChiSquaredFairCoin, PaxsonsLargeSamplePhenomenon) {
+  // The §2.3 point this module exists to demonstrate: a 50.5% "coin" —
+  // practically fair — passes at small n but fails spectacularly at the
+  // sample sizes these experiments reach.
+  const auto small = chi_squared_fair_coin(505, 495);
+  EXPECT_GT(small.p_value, 0.5);
+  const auto huge = chi_squared_fair_coin(505000, 495000);
+  EXPECT_LT(huge.p_value, 1e-10);
+  // ...which is why the paper adds the 2% practical-importance margin:
+  // 50.5% < 52% would be discarded regardless of its p-value.
+}
+
+TEST(ChiSquaredFairCoin, AgreesWithSimulatedFairCoin) {
+  Rng rng{3};
+  int reject = 0;
+  constexpr int kTrials = 200;
+  for (int t = 0; t < kTrials; ++t) {
+    std::uint64_t wins = 0;
+    for (int i = 0; i < 400; ++i) wins += rng.bernoulli(0.5) ? 1 : 0;
+    if (chi_squared_fair_coin(wins, 400 - wins).p_value < 0.05) ++reject;
+  }
+  // ~5% type-I error rate.
+  EXPECT_LE(reject, 22);
+}
+
+}  // namespace
+}  // namespace bblab::stats

@@ -1,0 +1,78 @@
+#include "stats/correlation.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/error.h"
+#include "core/rng.h"
+
+namespace bblab::stats {
+namespace {
+
+TEST(Pearson, PerfectLinearRelationships) {
+  const std::vector<double> xs{1, 2, 3, 4, 5};
+  const std::vector<double> up{2, 4, 6, 8, 10};
+  const std::vector<double> down{10, 8, 6, 4, 2};
+  EXPECT_NEAR(pearson(xs, up), 1.0, 1e-12);
+  EXPECT_NEAR(pearson(xs, down), -1.0, 1e-12);
+}
+
+TEST(Pearson, DegenerateInputsAreZero) {
+  EXPECT_DOUBLE_EQ(pearson(std::vector<double>{1}, std::vector<double>{2}), 0.0);
+  EXPECT_DOUBLE_EQ(
+      pearson(std::vector<double>{1, 1, 1}, std::vector<double>{1, 2, 3}), 0.0);
+}
+
+TEST(Pearson, MismatchedLengthsThrow) {
+  EXPECT_THROW(pearson(std::vector<double>{1, 2}, std::vector<double>{1}),
+               InvalidArgument);
+}
+
+TEST(Pearson, IndependentSamplesNearZero) {
+  Rng rng{3};
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (int i = 0; i < 20000; ++i) {
+    xs.push_back(rng.normal());
+    ys.push_back(rng.normal());
+  }
+  EXPECT_NEAR(pearson(xs, ys), 0.0, 0.02);
+}
+
+TEST(Pearson, KnownValue) {
+  const std::vector<double> xs{1, 2, 3, 4, 5};
+  const std::vector<double> ys{2, 1, 4, 3, 5};
+  EXPECT_NEAR(pearson(xs, ys), 0.8, 1e-12);
+}
+
+TEST(Ranks, HandlesTiesWithMidranks) {
+  const std::vector<double> xs{10, 20, 20, 30};
+  const auto r = ranks(xs);
+  ASSERT_EQ(r.size(), 4u);
+  EXPECT_DOUBLE_EQ(r[0], 1.0);
+  EXPECT_DOUBLE_EQ(r[1], 2.5);
+  EXPECT_DOUBLE_EQ(r[2], 2.5);
+  EXPECT_DOUBLE_EQ(r[3], 4.0);
+}
+
+TEST(Spearman, MonotoneNonlinearIsOne) {
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (int i = 1; i <= 50; ++i) {
+    xs.push_back(i);
+    ys.push_back(std::exp(0.3 * i));  // monotone but very nonlinear
+  }
+  EXPECT_NEAR(spearman(xs, ys), 1.0, 1e-12);
+  EXPECT_LT(pearson(xs, ys), 0.9);  // Pearson penalizes the nonlinearity
+}
+
+TEST(Spearman, RobustToOutliers) {
+  std::vector<double> xs{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  std::vector<double> ys{1, 2, 3, 4, 5, 6, 7, 8, 9, 1000};
+  EXPECT_NEAR(spearman(xs, ys), 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace bblab::stats

@@ -1,0 +1,102 @@
+#include "measurement/counters.h"
+
+#include <gtest/gtest.h>
+
+#include "core/error.h"
+
+namespace bblab::measurement {
+namespace {
+
+TEST(CounterDelta, NoWrap) {
+  EXPECT_EQ(counter_delta(100, 250, 32), 150u);
+  EXPECT_EQ(counter_delta(0, 0, 32), 0u);
+}
+
+TEST(CounterDelta, SingleWrap32) {
+  const std::uint64_t modulus = 1ULL << 32;
+  // Counter was near the top, wrapped to a small value.
+  EXPECT_EQ(counter_delta(modulus - 1000, 24, 32), 1024u);
+  EXPECT_EQ(counter_delta(modulus - 1, 0, 32), 1u);
+}
+
+TEST(CounterDelta, SmallWidths) {
+  EXPECT_EQ(counter_delta(250, 5, 8), 11u);   // 256 - 250 + 5
+  EXPECT_EQ(counter_delta(15, 2, 4), 3u);     // 16 - 15 + 2
+}
+
+TEST(CounterDelta, SixtyFourBit) {
+  EXPECT_EQ(counter_delta(~0ULL - 10, 9, 64), 20u);
+  EXPECT_EQ(counter_delta(5, 105, 64), 100u);
+}
+
+TEST(CounterDelta, Validation) {
+  EXPECT_THROW(counter_delta(1, 2, 0), InvalidArgument);
+  EXPECT_THROW(counter_delta(1, 2, 65), InvalidArgument);
+  EXPECT_THROW(counter_delta(1ULL << 33, 0, 32), InvalidArgument);
+}
+
+TEST(CounterStep, NormalProgressIsPassedThrough) {
+  const auto step = counter_step(1000, 5000, 32, 30.0, 1e9);
+  EXPECT_EQ(step.bytes, 4000u);
+  EXPECT_FALSE(step.reset_suspected);
+}
+
+TEST(CounterStep, PlausibleWrapIsAWrap) {
+  // 30 s at 20 Mbps = 75 MB across the 32-bit boundary: a legal wrap.
+  const std::uint64_t modulus = 1ULL << 32;
+  const std::uint64_t prev = modulus - 50'000'000;
+  const std::uint64_t cur = 25'000'000;
+  const auto step = counter_step(prev, cur, 32, 30.0, 25e6);
+  EXPECT_EQ(step.bytes, 75'000'000u);
+  EXPECT_FALSE(step.reset_suspected);
+}
+
+TEST(CounterStep, ImplausibleWrapIsAReset) {
+  // Counter drops from 3 GB to 2 MB over 30 s on a 10 Mbps line: reading
+  // it as a wrap would imply ~380 Mbps — the gateway rebooted.
+  const std::uint64_t prev = 3'000'000'000ULL;
+  const std::uint64_t cur = 2'000'000;
+  const auto step = counter_step(prev, cur, 32, 30.0, 10e6 * 2);
+  EXPECT_TRUE(step.reset_suspected);
+  EXPECT_EQ(step.bytes, 2'000'000u);  // lower bound: bytes since reboot
+}
+
+TEST(CounterStep, Validation) {
+  EXPECT_THROW(counter_step(0, 1, 32, 0.0, 1e6), InvalidArgument);
+  EXPECT_THROW(counter_step(0, 1, 32, 30.0, 0.0), InvalidArgument);
+}
+
+TEST(CounterReader, Upnp32Wraps) {
+  const CounterReader reader{CounterKind::kUpnp32};
+  EXPECT_EQ(reader.bits(), 32);
+  const double five_gb = 5.0 * 1024 * 1024 * 1024;
+  const auto reading = reader.read(five_gb);
+  EXPECT_LT(reading, 1ULL << 32);
+  EXPECT_EQ(reading,
+            static_cast<std::uint64_t>(five_gb) & 0xFFFFFFFFULL);
+}
+
+TEST(CounterReader, Netstat64DoesNotWrap) {
+  const CounterReader reader{CounterKind::kNetstat64};
+  EXPECT_EQ(reader.bits(), 64);
+  const double five_gb = 5.0 * 1024 * 1024 * 1024;
+  EXPECT_EQ(reader.read(five_gb), static_cast<std::uint64_t>(five_gb));
+}
+
+TEST(CounterReader, WrapRecoveryEndToEnd) {
+  // Accumulate 100 MB every read past the 32-bit boundary; deltas must
+  // come back exact despite the wrap.
+  const CounterReader reader{CounterKind::kUpnp32};
+  const double step = 100e6;
+  double total = 4.2e9;  // just below 2^32
+  std::uint64_t prev = reader.read(total);
+  for (int i = 0; i < 10; ++i) {
+    total += step;
+    const auto cur = reader.read(total);
+    EXPECT_EQ(counter_delta(prev, cur, reader.bits()), static_cast<std::uint64_t>(step));
+    prev = cur;
+  }
+}
+
+}  // namespace
+}  // namespace bblab::measurement

@@ -1,0 +1,195 @@
+#include "dataset/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/error.h"
+
+namespace bblab::dataset {
+namespace {
+
+TEST(ParseCsv, SimpleRows) {
+  const auto rows = parse_csv("a,b,c\n1,2,3\n");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(rows[1], (std::vector<std::string>{"1", "2", "3"}));
+}
+
+TEST(ParseCsv, QuotedFieldsWithCommasAndQuotes) {
+  const auto rows = parse_csv("\"hello, world\",\"say \"\"hi\"\"\"\n");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0], "hello, world");
+  EXPECT_EQ(rows[0][1], "say \"hi\"");
+}
+
+TEST(ParseCsv, EmbeddedNewlineInQuotes) {
+  const auto rows = parse_csv("\"line1\nline2\",x\n");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0], "line1\nline2");
+}
+
+TEST(ParseCsv, EmptyFieldsAndCrlf) {
+  const auto rows = parse_csv("a,,c\r\n,,\r\n");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(rows[1], (std::vector<std::string>{"", "", ""}));
+}
+
+TEST(ParseCsv, MissingTrailingNewline) {
+  const auto rows = parse_csv("a,b");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(ParseCsv, MalformedInputThrows) {
+  EXPECT_THROW(parse_csv("\"unterminated"), IoError);
+  EXPECT_THROW(parse_csv("ab\"cd\n"), InvalidArgument);
+}
+
+TEST(CsvWriter, QuotesOnlyWhenNeeded) {
+  std::ostringstream os;
+  CsvWriter w{os};
+  w.row({"plain", "with,comma", "with\"quote", "multi\nline"});
+  EXPECT_EQ(os.str(), "plain,\"with,comma\",\"with\"\"quote\",\"multi\nline\"\n");
+}
+
+TEST(CsvRoundTrip, ArbitraryContent) {
+  std::ostringstream os;
+  CsvWriter w{os};
+  const std::vector<std::string> original{"a,b", "c\"d", "e\nf", "", "plain"};
+  w.row(original);
+  const auto rows = parse_csv(os.str());
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], original);
+}
+
+UserRecord sample_record() {
+  UserRecord r;
+  r.user_id = 42;
+  r.source = Source::kDasu;
+  r.country_code = "US";
+  r.region = market::Region::kNorthAmerica;
+  r.year = 2012;
+  r.capacity = Rate::from_mbps(17.6);
+  r.upload_capacity = Rate::from_mbps(2.2);
+  r.rtt_ms = 43.5;
+  r.loss = 0.0012;
+  r.access_price = MoneyPpp::usd(20.0);
+  r.upgrade_cost_per_mbps = 0.96;
+  r.plan_price = MoneyPpp::usd(53.0);
+  r.plan_capacity = Rate::from_mbps(18.0);
+  r.gdp_per_capita_ppp = 49797;
+  r.usage.mean_down = Rate::from_kbps(350);
+  r.usage.peak_down = Rate::from_kbps(2100);
+  r.usage.mean_down_no_bt = Rate::from_kbps(280);
+  r.usage.peak_down_no_bt = Rate::from_kbps(1700);
+  r.usage.mean_up = Rate::from_kbps(40);
+  r.usage.peak_up = Rate::from_kbps(200);
+  r.usage.samples = 5000;
+  r.usage.samples_no_bt = 4200;
+  r.true_need_mbps = 12.0;
+  r.archetype = behavior::Archetype::kStreamer;
+  r.bt_user = true;
+  return r;
+}
+
+TEST(UserRecordsCsv, RoundTrips) {
+  std::ostringstream os;
+  write_user_records(os, {sample_record()});
+  const auto back = read_user_records(os.str());
+  ASSERT_EQ(back.size(), 1u);
+  const auto& r = back.front();
+  EXPECT_EQ(r.user_id, 42u);
+  EXPECT_EQ(r.source, Source::kDasu);
+  EXPECT_EQ(r.country_code, "US");
+  EXPECT_EQ(r.region, market::Region::kNorthAmerica);
+  EXPECT_EQ(r.year, 2012);
+  EXPECT_NEAR(r.capacity.mbps(), 17.6, 1e-9);
+  EXPECT_NEAR(r.rtt_ms, 43.5, 1e-9);
+  EXPECT_NEAR(r.loss, 0.0012, 1e-12);
+  EXPECT_NEAR(r.usage.peak_down_no_bt.kbps(), 1700, 1e-9);
+  EXPECT_EQ(r.usage.samples, 5000u);
+  EXPECT_EQ(r.archetype, behavior::Archetype::kStreamer);
+  EXPECT_TRUE(r.bt_user);
+}
+
+TEST(UserRecordsCsv, RejectsWrongHeader) {
+  EXPECT_THROW(read_user_records("foo,bar\n1,2\n"), InvalidArgument);
+  EXPECT_THROW(read_user_records(""), InvalidArgument);
+}
+
+TEST(PlansCsv, RoundTrips) {
+  market::ServicePlan plan;
+  plan.isp = "Acme Fiber, Inc.";
+  plan.country_code = "JP";
+  plan.download = Rate::from_mbps(100);
+  plan.upload = Rate::from_mbps(40);
+  plan.monthly_price = MoneyPpp::usd(40.0);
+  plan.monthly_cap = 250 * kGiB;
+  plan.tech = market::AccessTech::kFiber;
+  plan.dedicated = false;
+
+  std::ostringstream os;
+  write_plans(os, {plan});
+  const auto back = read_plans(os.str());
+  ASSERT_EQ(back.size(), 1u);
+  EXPECT_EQ(back[0].isp, "Acme Fiber, Inc.");
+  EXPECT_NEAR(back[0].download.mbps(), 100, 1e-9);
+  ASSERT_TRUE(back[0].monthly_cap.has_value());
+  EXPECT_EQ(*back[0].monthly_cap, 250 * kGiB);
+  EXPECT_EQ(back[0].tech, market::AccessTech::kFiber);
+}
+
+TEST(UpgradesCsv, RoundTrips) {
+  UpgradeObservation u;
+  u.user_id = 9;
+  u.country_code = "JP";
+  u.year = 2012;
+  u.old_capacity = Rate::from_mbps(8);
+  u.new_capacity = Rate::from_mbps(16);
+  u.old_price = MoneyPpp::usd(30);
+  u.new_price = MoneyPpp::usd(38);
+  u.before.mean_down = Rate::from_kbps(120);
+  u.before.peak_down = Rate::from_kbps(900);
+  u.before.samples = 1000;
+  u.before.samples_no_bt = 900;
+  u.after.mean_down = Rate::from_kbps(260);
+  u.after.peak_down = Rate::from_kbps(2400);
+  u.after.samples = 1100;
+  u.after.samples_no_bt = 1000;
+
+  std::ostringstream os;
+  write_upgrades(os, {u});
+  const auto back = read_upgrades(os.str());
+  ASSERT_EQ(back.size(), 1u);
+  EXPECT_EQ(back[0].user_id, 9u);
+  EXPECT_EQ(back[0].country_code, "JP");
+  EXPECT_TRUE(back[0].is_upgrade());
+  EXPECT_NEAR(back[0].old_capacity.mbps(), 8.0, 1e-9);
+  EXPECT_NEAR(back[0].before.peak_down.kbps(), 900.0, 1e-9);
+  EXPECT_NEAR(back[0].after.peak_down.kbps(), 2400.0, 1e-9);
+  EXPECT_EQ(back[0].after.samples_no_bt, 1000u);
+}
+
+TEST(UpgradesCsv, RejectsWrongHeader) {
+  EXPECT_THROW(read_upgrades("a,b\n"), InvalidArgument);
+}
+
+TEST(PlansCsv, UnmeteredCapStaysEmpty) {
+  market::ServicePlan plan;
+  plan.isp = "X";
+  plan.country_code = "US";
+  plan.download = Rate::from_mbps(10);
+  plan.upload = Rate::from_mbps(1);
+  plan.monthly_price = MoneyPpp::usd(30.0);
+
+  std::ostringstream os;
+  write_plans(os, {plan});
+  const auto back = read_plans(os.str());
+  ASSERT_EQ(back.size(), 1u);
+  EXPECT_FALSE(back[0].monthly_cap.has_value());
+}
+
+}  // namespace
+}  // namespace bblab::dataset

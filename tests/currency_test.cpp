@@ -1,0 +1,49 @@
+#include "market/currency.h"
+
+#include <gtest/gtest.h>
+
+#include "core/error.h"
+
+namespace bblab::market {
+namespace {
+
+TEST(Currency, UsdIsIdentity) {
+  const Currency usd = Currency::usd();
+  EXPECT_EQ(usd.code(), "USD");
+  EXPECT_DOUBLE_EQ(usd.to_usd_ppp(53.0).dollars(), 53.0);
+  EXPECT_DOUBLE_EQ(usd.to_usd_market(53.0), 53.0);
+  EXPECT_DOUBLE_EQ(usd.ppp_ratio(), 1.0);
+}
+
+TEST(Currency, PppConversionUsesPppFactor) {
+  // A currency trading at 60/USD whose PPP factor is 17/USD: local goods
+  // are cheap at market rates.
+  const Currency inr{"INR", 60.0, 17.0};
+  EXPECT_DOUBLE_EQ(inr.to_usd_ppp(1700.0).dollars(), 100.0);
+  EXPECT_NEAR(inr.to_usd_market(1700.0), 28.33, 0.01);
+  EXPECT_GT(inr.ppp_ratio(), 1.0);
+}
+
+TEST(Currency, RoundTrip) {
+  const Currency jpy{"JPY", 100.0, 104.0};
+  const MoneyPpp usd = jpy.to_usd_ppp(3848.0);
+  EXPECT_NEAR(jpy.from_usd_ppp(usd), 3848.0, 1e-9);
+}
+
+TEST(Currency, PppAdjustmentChangesComparison) {
+  // The paper's Botswana example: nominally moderate prices become very
+  // expensive after PPP adjustment relative to local purchasing power.
+  const Currency bwp{"BWP", 8.5, 4.6};
+  const double local_price = 8.5 * 80.0;  // "80 market-USD" worth of pula
+  EXPECT_DOUBLE_EQ(bwp.to_usd_market(local_price), 80.0);
+  EXPECT_GT(bwp.to_usd_ppp(local_price).dollars(), 80.0);
+}
+
+TEST(Currency, ValidatesInputs) {
+  EXPECT_THROW(Currency("", 1.0, 1.0), InvalidArgument);
+  EXPECT_THROW(Currency("XXX", 0.0, 1.0), InvalidArgument);
+  EXPECT_THROW(Currency("XXX", 1.0, -2.0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace bblab::market

@@ -1,0 +1,110 @@
+#include "stats/descriptive.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "core/rng.h"
+
+namespace bblab::stats {
+namespace {
+
+TEST(Mean, BasicAndEmpty) {
+  EXPECT_DOUBLE_EQ(mean(std::vector<double>{1, 2, 3, 4}), 2.5);
+  EXPECT_DOUBLE_EQ(mean(std::vector<double>{}), 0.0);
+  EXPECT_DOUBLE_EQ(mean(std::vector<double>{42}), 42.0);
+}
+
+TEST(Variance, UnbiasedEstimator) {
+  const std::vector<double> xs{2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_NEAR(variance(xs), 4.571428, 1e-5);
+  EXPECT_DOUBLE_EQ(variance(std::vector<double>{5}), 0.0);
+}
+
+TEST(Stddev, SqrtOfVariance) {
+  const std::vector<double> xs{1, 1, 1, 1};
+  EXPECT_DOUBLE_EQ(stddev(xs), 0.0);
+  const std::vector<double> ys{0, 2};
+  EXPECT_NEAR(stddev(ys), std::sqrt(2.0), 1e-12);
+}
+
+TEST(MeanCi95, ShrinksWithSampleSize) {
+  Rng rng{3};
+  std::vector<double> small;
+  std::vector<double> large;
+  for (int i = 0; i < 20; ++i) small.push_back(rng.normal(10, 2));
+  for (int i = 0; i < 2000; ++i) large.push_back(rng.normal(10, 2));
+  const auto ci_small = mean_ci95(small);
+  const auto ci_large = mean_ci95(large);
+  EXPECT_GT(ci_small.half_width, ci_large.half_width);
+  EXPECT_NEAR(ci_large.mean, 10.0, 0.2);
+  EXPECT_GE(ci_large.hi(), ci_large.lo());
+}
+
+TEST(MeanCi95, CoversTrueMeanUsually) {
+  // ~95% of 200 resampled CIs should cover the true mean.
+  Rng rng{5};
+  int covered = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<double> xs;
+    for (int i = 0; i < 100; ++i) xs.push_back(rng.normal(3.0, 1.0));
+    const auto ci = mean_ci95(xs);
+    if (ci.lo() <= 3.0 && 3.0 <= ci.hi()) ++covered;
+  }
+  EXPECT_GE(covered, 175);
+  EXPECT_LE(covered, 200);
+}
+
+TEST(RunningStats, MatchesBatchComputation) {
+  Rng rng{7};
+  std::vector<double> xs;
+  RunningStats rs;
+  for (int i = 0; i < 5000; ++i) {
+    const double x = rng.lognormal(0.0, 1.0);
+    xs.push_back(x);
+    rs.add(x);
+  }
+  EXPECT_EQ(rs.count(), xs.size());
+  EXPECT_NEAR(rs.mean(), mean(xs), 1e-9);
+  EXPECT_NEAR(rs.variance(), variance(xs), 1e-6);
+  EXPECT_DOUBLE_EQ(rs.min(), *std::min_element(xs.begin(), xs.end()));
+  EXPECT_DOUBLE_EQ(rs.max(), *std::max_element(xs.begin(), xs.end()));
+}
+
+TEST(RunningStats, MergeEqualsConcatenation) {
+  Rng rng{11};
+  RunningStats a;
+  RunningStats b;
+  RunningStats whole;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal(5, 3);
+    (i < 400 ? a : b).add(x);
+    whole.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_NEAR(a.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), whole.variance(), 1e-6);
+  EXPECT_DOUBLE_EQ(a.min(), whole.min());
+  EXPECT_DOUBLE_EQ(a.max(), whole.max());
+}
+
+TEST(RunningStats, MergeWithEmptySides) {
+  RunningStats empty;
+  RunningStats some;
+  some.add(1.0);
+  some.add(3.0);
+  RunningStats target = some;
+  target.merge(empty);
+  EXPECT_EQ(target.count(), 2u);
+  EXPECT_DOUBLE_EQ(target.mean(), 2.0);
+  RunningStats target2 = empty;
+  target2.merge(some);
+  EXPECT_EQ(target2.count(), 2u);
+  EXPECT_DOUBLE_EQ(target2.mean(), 2.0);
+}
+
+}  // namespace
+}  // namespace bblab::stats

@@ -1,0 +1,98 @@
+#include "stats/ecdf.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/error.h"
+#include "core/rng.h"
+
+namespace bblab::stats {
+namespace {
+
+TEST(Ecdf, EvaluatesStepFunction) {
+  const Ecdf e{std::vector<double>{1, 2, 3, 4}};
+  EXPECT_DOUBLE_EQ(e(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(e(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(e(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(e(4.0), 1.0);
+  EXPECT_DOUBLE_EQ(e(100.0), 1.0);
+}
+
+TEST(Ecdf, EmptyBehaves) {
+  const Ecdf e;
+  EXPECT_TRUE(e.empty());
+  EXPECT_DOUBLE_EQ(e(1.0), 0.0);
+  EXPECT_THROW(e.min(), InvalidArgument);
+}
+
+TEST(Ecdf, InverseMatchesQuantiles) {
+  const Ecdf e{std::vector<double>{10, 20, 30, 40, 50}};
+  EXPECT_DOUBLE_EQ(e.inverse(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(e.inverse(0.5), 30.0);
+  EXPECT_DOUBLE_EQ(e.inverse(1.0), 50.0);
+}
+
+TEST(Ecdf, PointsAreMonotone) {
+  Rng rng{3};
+  std::vector<double> xs;
+  for (int i = 0; i < 500; ++i) xs.push_back(rng.normal(0, 1));
+  const Ecdf e{xs};
+  const auto pts = e.points();
+  ASSERT_EQ(pts.size(), xs.size());
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    EXPECT_GE(pts[i].x, pts[i - 1].x);
+    EXPECT_GT(pts[i].f, pts[i - 1].f);
+  }
+  EXPECT_DOUBLE_EQ(pts.back().f, 1.0);
+}
+
+TEST(Ecdf, SampledHasRequestedResolution) {
+  Rng rng{5};
+  std::vector<double> xs;
+  for (int i = 0; i < 100; ++i) xs.push_back(rng.uniform());
+  const Ecdf e{xs};
+  const auto pts = e.sampled(11);
+  ASSERT_EQ(pts.size(), 11u);
+  EXPECT_DOUBLE_EQ(pts.front().f, 0.0);
+  EXPECT_DOUBLE_EQ(pts.back().f, 1.0);
+  EXPECT_THROW(e.sampled(1), InvalidArgument);
+}
+
+TEST(Ecdf, SummaryMentionsMedian) {
+  const Ecdf e{std::vector<double>{1, 2, 3}};
+  EXPECT_NE(e.summary().find("p50=2"), std::string::npos);
+  EXPECT_EQ(Ecdf{}.summary(), "(empty)");
+}
+
+TEST(KsStatistic, IdenticalSamplesAreZero) {
+  const std::vector<double> xs{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(ks_statistic(Ecdf{xs}, Ecdf{xs}), 0.0);
+}
+
+TEST(KsStatistic, DisjointSamplesAreOne) {
+  EXPECT_DOUBLE_EQ(
+      ks_statistic(Ecdf{std::vector<double>{1, 2}}, Ecdf{std::vector<double>{10, 11}}),
+      1.0);
+}
+
+TEST(KsStatistic, SameDistributionIsSmall) {
+  Rng rng{7};
+  std::vector<double> a;
+  std::vector<double> b;
+  for (int i = 0; i < 5000; ++i) a.push_back(rng.normal(0, 1));
+  for (int i = 0; i < 5000; ++i) b.push_back(rng.normal(0, 1));
+  EXPECT_LT(ks_statistic(Ecdf{a}, Ecdf{b}), 0.05);
+}
+
+TEST(KsStatistic, ShiftedDistributionIsLarge) {
+  Rng rng{9};
+  std::vector<double> a;
+  std::vector<double> b;
+  for (int i = 0; i < 2000; ++i) a.push_back(rng.normal(0, 1));
+  for (int i = 0; i < 2000; ++i) b.push_back(rng.normal(2, 1));
+  EXPECT_GT(ks_statistic(Ecdf{a}, Ecdf{b}), 0.5);
+}
+
+}  // namespace
+}  // namespace bblab::stats

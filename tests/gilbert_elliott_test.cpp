@@ -1,0 +1,83 @@
+#include "netsim/gilbert_elliott.h"
+
+#include <gtest/gtest.h>
+
+#include "core/error.h"
+
+namespace bblab::netsim {
+namespace {
+
+TEST(GilbertElliott, StationaryDistribution) {
+  GilbertElliottParams params;
+  params.p_good_to_bad = 0.01;
+  params.p_bad_to_good = 0.09;
+  const GilbertElliott ge{params};
+  EXPECT_NEAR(ge.stationary_bad(), 0.1, 1e-12);
+  EXPECT_NEAR(ge.mean_burst_length(), 1.0 / 0.09, 1e-12);
+}
+
+TEST(GilbertElliott, AverageLossMatchesSimulation) {
+  GilbertElliottParams params;
+  params.p_good_to_bad = 0.005;
+  params.p_bad_to_good = 0.08;
+  params.loss_good = 0.0005;
+  params.loss_bad = 0.3;
+  const GilbertElliott ge{params};
+  Rng rng{3};
+  constexpr std::uint64_t kPackets = 400000;
+  const auto lost = ge.simulate_losses(kPackets, rng);
+  EXPECT_NEAR(static_cast<double>(lost) / kPackets, ge.average_loss(),
+              ge.average_loss() * 0.15);
+}
+
+TEST(GilbertElliott, LossesAreBursty) {
+  // At equal average loss, the GE chain must show more run-to-run
+  // variance in short windows than an independent-drop process.
+  const auto ge = GilbertElliott::from_average(0.02, 20.0);
+  Rng rng{5};
+  double ge_var = 0.0;
+  double iid_var = 0.0;
+  constexpr int kWindows = 400;
+  constexpr std::uint64_t kWin = 500;
+  const double mean = 0.02 * kWin;
+  for (int w = 0; w < kWindows; ++w) {
+    const double g = static_cast<double>(ge.simulate_losses(kWin, rng));
+    std::uint64_t iid = 0;
+    for (std::uint64_t i = 0; i < kWin; ++i) iid += rng.bernoulli(0.02) ? 1 : 0;
+    ge_var += (g - mean) * (g - mean);
+    iid_var += (static_cast<double>(iid) - mean) * (static_cast<double>(iid) - mean);
+  }
+  EXPECT_GT(ge_var, 2.0 * iid_var);
+}
+
+TEST(GilbertElliott, FromAverageRoundTrips) {
+  for (const double target : {0.005, 0.02, 0.1}) {
+    for (const double burst : {1.0, 5.0, 25.0}) {
+      const auto ge = GilbertElliott::from_average(target, burst);
+      EXPECT_NEAR(ge.average_loss(), target, target * 0.02)
+          << target << "/" << burst;
+      EXPECT_NEAR(ge.mean_burst_length(), burst, 1e-9);
+    }
+  }
+}
+
+TEST(GilbertElliott, EffectiveTcpLossBelowAverageForLongBursts) {
+  // Clustered drops -> fewer congestion events than iid drops of the same
+  // average rate; but a burst of 1 behaves like iid.
+  const auto bursty = GilbertElliott::from_average(0.02, 25.0);
+  EXPECT_LT(bursty.effective_loss_for_tcp(), bursty.average_loss());
+  const auto smooth = GilbertElliott::from_average(0.02, 1.0);
+  EXPECT_NEAR(smooth.effective_loss_for_tcp(), smooth.average_loss(),
+              smooth.average_loss() * 0.1);
+}
+
+TEST(GilbertElliott, Validation) {
+  GilbertElliottParams bad;
+  bad.p_good_to_bad = 0.0;
+  EXPECT_THROW(GilbertElliott{bad}, InvalidArgument);
+  EXPECT_THROW(GilbertElliott::from_average(0.0, 5.0), InvalidArgument);
+  EXPECT_THROW(GilbertElliott::from_average(0.02, 0.5), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace bblab::netsim

@@ -1,0 +1,168 @@
+// End-to-end validation: the full pipeline (market synthesis -> choice ->
+// traffic simulation -> measurement -> matching -> binomial inference)
+// must recover the causal effects planted in the generator, and must NOT
+// report effects on placebo data where every effect is disabled. This is
+// the falsification test the paper itself could not run.
+#include <gtest/gtest.h>
+
+#include "analysis/tables.h"
+#include "dataset/generator.h"
+
+namespace bblab {
+namespace {
+
+dataset::StudyConfig config_for(bool placebo, std::uint64_t seed) {
+  dataset::StudyConfig config;
+  config.seed = seed;
+  config.population_scale = 0.12;
+  config.window_days = 1.25;
+  config.fcc_users = 300;
+  config.fcc_window_days = 2.0;
+  config.first_year = 2011;
+  config.last_year = 2012;
+  config.upgrade_follow_share = 0.35;
+  config.placebo = placebo;
+  return config;
+}
+
+const dataset::StudyDataset& real_dataset() {
+  static const dataset::StudyDataset ds =
+      dataset::StudyGenerator{market::World::builtin(), config_for(false, 2014)}
+          .generate();
+  return ds;
+}
+
+const dataset::StudyDataset& placebo_dataset() {
+  static const dataset::StudyDataset ds =
+      dataset::StudyGenerator{market::World::builtin(), config_for(true, 2014)}
+          .generate();
+  return ds;
+}
+
+TEST(EndToEnd, Table1UpgradesIncreaseDemand) {
+  const auto tab = analysis::tab1_upgrade_experiment(real_dataset());
+  ASSERT_GT(tab.average.pairs, 50u);
+  // Paper: 66.8% (average), 70.3% (peak). The peak channel is the robust
+  // one at test-sized observation windows (short windows let a single
+  // bulk download dominate a pair's means); the average must at least not
+  // point the wrong way. The bench harness at full scale checks both.
+  EXPECT_GT(tab.peak.test.fraction, 0.56) << tab.peak.to_string();
+  EXPECT_TRUE(tab.peak.test.conclusive()) << tab.peak.to_string();
+  EXPECT_GT(tab.average.test.fraction, 0.47) << tab.average.to_string();
+}
+
+TEST(EndToEnd, Table2CapacityEffectFadesAtHighTiers) {
+  const auto tab = analysis::tab2_capacity_matching(real_dataset());
+  ASSERT_GE(tab.dasu.size(), 5u);
+  // Low-capacity comparisons (control bin <= 6, i.e. up to 6.4 Mbps) must
+  // lean toward the treated (faster) group.
+  double low_sum = 0.0;
+  int low_n = 0;
+  double high_sum = 0.0;
+  int high_n = 0;
+  for (const auto& row : tab.dasu) {
+    if (row.result.test.trials < 20) continue;
+    if (row.control_bin <= 6) {
+      low_sum += row.result.test.fraction;
+      ++low_n;
+    } else {
+      high_sum += row.result.test.fraction;
+      ++high_n;
+    }
+  }
+  ASSERT_GT(low_n, 0);
+  EXPECT_GT(low_sum / low_n, 0.54);
+  if (high_n > 0) {
+    // Diminishing returns: the high-tier effect is weaker.
+    EXPECT_LT(high_sum / high_n, low_sum / low_n + 0.02);
+  }
+}
+
+TEST(EndToEnd, Table3PriceRaisesDemand) {
+  const auto tab = analysis::tab3_price_experiment(real_dataset());
+  ASSERT_GT(tab.mid.pairs, 50u) << tab.mid.to_string();
+  EXPECT_GT(tab.mid.test.fraction, 0.51) << tab.mid.to_string();
+  // The expensive bracket has a small pool at test scale; only check the
+  // direction when enough pairs matched.
+  if (tab.high.pairs > 40) {
+    EXPECT_GT(tab.high.test.fraction, 0.50) << tab.high.to_string();
+  }
+}
+
+TEST(EndToEnd, Table6UpgradeCostRaisesDemand) {
+  // The weakest planted effect (EXPERIMENTS.md flags it): the direction
+  // must not invert, but at test scale significance is not expected —
+  // the paper's own no-BT mid row (52.2%, p=0.095) was insignificant too.
+  const auto tab = analysis::tab6_upgrade_cost_experiment(real_dataset());
+  EXPECT_GT(tab.with_bt_high.test.fraction, 0.49) << tab.with_bt_high.to_string();
+  EXPECT_GT(tab.no_bt_high.test.fraction, 0.49) << tab.no_bt_high.to_string();
+}
+
+TEST(EndToEnd, Table7LatencySuppressesDemand) {
+  const auto tab = analysis::tab7_latency_experiment(real_dataset());
+  ASSERT_FALSE(tab.rows.empty());
+  double total = 0.0;
+  int n = 0;
+  for (const auto& row : tab.rows) {
+    if (row.result.test.trials < 15) continue;
+    total += row.result.test.fraction;
+    ++n;
+  }
+  ASSERT_GT(n, 0);
+  EXPECT_GT(total / n, 0.54);
+  // India vs US: the US user wins most matched pairs (paper: 62%).
+  if (tab.us_vs_india.test.trials > 30) {
+    EXPECT_GT(tab.us_vs_india.test.fraction, 0.55) << tab.us_vs_india.to_string();
+  }
+}
+
+TEST(EndToEnd, Table8LossSuppressesDemand) {
+  const auto tab = analysis::tab8_loss_experiment(real_dataset());
+  ASSERT_GE(tab.size(), 4u);
+  double total = 0.0;
+  int n = 0;
+  for (const auto& row : tab) {
+    if (row.result.test.trials < 15) continue;
+    total += row.result.test.fraction;
+    ++n;
+  }
+  ASSERT_GT(n, 0);
+  EXPECT_GT(total / n, 0.52);
+}
+
+// ------------------------------------------------------------ Placebo --
+// With every causal effect disabled, the same pipeline must come back
+// empty-handed: fractions near 50%, nothing conclusive.
+
+TEST(Placebo, Table1MechanicalEffectPersists) {
+  // Capacity affects demand both behaviorally (the planted effect) and
+  // mechanically (TCP, ABR rungs, transfer times). The placebo disables
+  // only the former — indeed, without the pressure-relief drag the purely
+  // mechanical upgrade effect can be even STRONGER. The scientific point:
+  // Table 1's direction does not hinge on the behavioral model.
+  const auto placebo = analysis::tab1_upgrade_experiment(placebo_dataset());
+  if (placebo.average.test.trials > 50) {
+    EXPECT_GT(placebo.average.test.fraction, 0.5) << placebo.average.to_string();
+  }
+}
+
+TEST(Placebo, Table3IsNull) {
+  const auto tab = analysis::tab3_price_experiment(placebo_dataset());
+  if (tab.mid.test.trials > 50) {
+    EXPECT_NEAR(tab.mid.test.fraction, 0.5, 0.07) << tab.mid.to_string();
+  }
+  if (tab.high.test.trials > 50) {
+    EXPECT_NEAR(tab.high.test.fraction, 0.5, 0.09) << tab.high.to_string();
+  }
+}
+
+TEST(Placebo, Table7IsNull) {
+  const auto tab = analysis::tab7_latency_experiment(placebo_dataset());
+  for (const auto& row : tab.rows) {
+    if (row.result.test.trials < 50) continue;
+    EXPECT_LT(row.result.test.fraction, 0.60) << row.result.to_string();
+  }
+}
+
+}  // namespace
+}  // namespace bblab

@@ -1,0 +1,39 @@
+#include "core/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace bblab {
+namespace {
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override { previous_ = log_level(); }
+  void TearDown() override { set_log_level(previous_); }
+  LogLevel previous_{LogLevel::kWarn};
+};
+
+TEST_F(LoggingTest, LevelRoundTrips) {
+  for (const auto level : {LogLevel::kDebug, LogLevel::kInfo, LogLevel::kWarn,
+                           LogLevel::kError, LogLevel::kOff}) {
+    set_log_level(level);
+    EXPECT_EQ(log_level(), level);
+  }
+}
+
+TEST_F(LoggingTest, OffSuppressesEverything) {
+  set_log_level(LogLevel::kOff);
+  // Nothing observable to assert beyond "does not crash", but the calls
+  // must be safe at every level.
+  log_debug("d");
+  log_info("i", 42);
+  log_warn("w", 1.5, "x");
+  log_error("e");
+}
+
+TEST_F(LoggingTest, ConcatBuildsMessage) {
+  EXPECT_EQ(detail::concat("a", 1, "-", 2.5), "a1-2.5");
+  EXPECT_EQ(detail::concat(), "");
+}
+
+}  // namespace
+}  // namespace bblab

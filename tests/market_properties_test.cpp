@@ -1,0 +1,130 @@
+// Property sweeps across the entire built-in world: every market's
+// catalog, calibration, and choice behavior must satisfy the structural
+// invariants the analysis relies on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/rng.h"
+#include "market/catalog.h"
+#include "market/choice.h"
+#include "stats/quantile.h"
+
+namespace bblab::market {
+namespace {
+
+class WorldProperty : public ::testing::TestWithParam<std::string> {
+ protected:
+  const CountryProfile& country() const { return World::builtin().at(GetParam()); }
+};
+
+TEST_P(WorldProperty, CatalogIsWellFormed) {
+  Rng rng{2014};
+  const auto catalog = PlanCatalog::generate(country(), rng);
+  ASSERT_FALSE(catalog.empty());
+  for (const auto& plan : catalog.plans()) {
+    EXPECT_EQ(plan.country_code, country().code);
+    EXPECT_GT(plan.download.bps(), 0.0);
+    EXPECT_GT(plan.upload.bps(), 0.0);
+    EXPECT_LE(plan.upload.bps(), plan.download.bps() + 1.0);
+    EXPECT_GT(plan.monthly_price.dollars(), 0.0);
+    EXPECT_LE(plan.download.bps(), country().max_capacity.bps() * 1.001);
+  }
+}
+
+TEST_P(WorldProperty, WirelinePricesRiseWithCapacity) {
+  Rng rng{7};
+  const auto catalog = PlanCatalog::generate(country(), rng);
+  // Restricted to wireline, the price-capacity regression must be
+  // positive in every market (the flat-priced wireless plans are the
+  // intended noise, not the backbone).
+  std::vector<double> caps;
+  std::vector<double> prices;
+  for (const auto& plan : catalog.plans()) {
+    if (plan.tech == AccessTech::kFixedWireless ||
+        plan.tech == AccessTech::kSatellite || plan.dedicated) {
+      continue;
+    }
+    caps.push_back(plan.download.mbps());
+    prices.push_back(plan.monthly_price.dollars());
+  }
+  ASSERT_GE(caps.size(), 3u);
+  EXPECT_GT(stats::linear_fit(caps, prices).slope, 0.0);
+}
+
+TEST_P(WorldProperty, CalibratedChoicesAreAffordable) {
+  Rng rng{11};
+  const auto catalog = PlanCatalog::generate(country(), rng);
+  std::vector<Household> probes;
+  Rng prng{13};
+  for (int i = 0; i < 150; ++i) probes.push_back(sample_household(country(), prng));
+  const auto model = ChoiceModel::calibrated(country(), catalog, probes);
+
+  int over_budget = 0;
+  for (const auto& h : probes) {
+    const auto plan = model.choose(h, catalog);
+    ASSERT_TRUE(plan.has_value());
+    // Only the cheapest-plan fallback may exceed the budget.
+    if (plan->monthly_price > h.budget) {
+      ++over_budget;
+      for (const auto& other : catalog.plans()) {
+        EXPECT_GE(other.monthly_price.dollars() + 1e-9, plan->monthly_price.dollars());
+      }
+    }
+  }
+  // Fallbacks exist but cannot dominate a functioning market.
+  EXPECT_LT(over_budget, 100);
+}
+
+TEST_P(WorldProperty, NeedMonotonicityOfChoices) {
+  Rng rng{17};
+  const auto catalog = PlanCatalog::generate(country(), rng);
+  const ChoiceModel model{1.0};
+  Household h;
+  h.budget = MoneyPpp::usd(1e6);  // unconstrained: isolate the value side
+  h.value_scale = 30.0;
+  double prev = 0.0;
+  for (const double need : {0.5, 2.0, 8.0, 32.0}) {
+    h.need_mbps = need;
+    const auto plan = model.choose(h, catalog);
+    ASSERT_TRUE(plan.has_value());
+    EXPECT_GE(plan->download.mbps(), prev * 0.999) << "need=" << need;
+    prev = plan->download.mbps();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Anchors, WorldProperty,
+    ::testing::Values("US", "JP", "BW", "SA", "IN", "DE", "KR", "BR", "GH", "PY",
+                      "LB", "AF", "MX", "VN", "RO"));
+
+TEST(WorldProperties, EveryCountryHasConsistentQualityParams) {
+  for (const auto& c : World::builtin().countries()) {
+    EXPECT_GT(c.base_rtt_ms, 0.0) << c.code;
+    EXPECT_LT(c.base_rtt_ms, 1000.0) << c.code;
+    EXPECT_GT(c.base_loss, 0.0) << c.code;
+    EXPECT_LT(c.base_loss, 0.1) << c.code;
+    EXPECT_GE(c.wireless_share, 0.0) << c.code;
+    EXPECT_LE(c.wireless_share, 0.6) << c.code;
+    EXPECT_GT(c.sample_weight, 0.0) << c.code;
+    EXPECT_GT(c.gdp_per_capita_ppp, 500.0) << c.code;
+    EXPECT_GT(c.max_capacity.bps(), c.typical_capacity.bps() * 0.99) << c.code;
+  }
+}
+
+TEST(WorldProperties, RicherRegionsHaveCheaperUpgrades) {
+  const auto& world = World::builtin();
+  const auto median_slope = [&](Region region) {
+    std::vector<double> slopes;
+    for (const auto* c : world.in_region(region)) {
+      slopes.push_back(c->upgrade_cost_per_mbps);
+    }
+    return stats::median(slopes);
+  };
+  EXPECT_LT(median_slope(Region::kEurope), median_slope(Region::kSouthAmerica));
+  EXPECT_LT(median_slope(Region::kNorthAmerica), median_slope(Region::kMiddleEast));
+  EXPECT_LT(median_slope(Region::kAsiaDeveloped), median_slope(Region::kAfrica));
+}
+
+}  // namespace
+}  // namespace bblab::market

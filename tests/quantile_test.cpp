@@ -1,0 +1,82 @@
+#include "stats/quantile.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/error.h"
+#include "core/rng.h"
+
+namespace bblab::stats {
+namespace {
+
+TEST(Quantile, MedianOfOddAndEven) {
+  EXPECT_DOUBLE_EQ(median(std::vector<double>{3, 1, 2}), 2.0);
+  EXPECT_DOUBLE_EQ(median(std::vector<double>{4, 1, 2, 3}), 2.5);
+}
+
+TEST(Quantile, Extremes) {
+  const std::vector<double> xs{5, 1, 9, 3};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 9.0);
+}
+
+TEST(Quantile, Type7Interpolation) {
+  // R: quantile(c(1,2,3,4), 0.95, type=7) == 3.85
+  EXPECT_NEAR(quantile(std::vector<double>{1, 2, 3, 4}, 0.95), 3.85, 1e-12);
+  // quantile(1:5, 0.25) == 2
+  EXPECT_DOUBLE_EQ(quantile(std::vector<double>{1, 2, 3, 4, 5}, 0.25), 2.0);
+}
+
+TEST(Quantile, EdgeCases) {
+  EXPECT_DOUBLE_EQ(quantile(std::vector<double>{}, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(quantile(std::vector<double>{7}, 0.9), 7.0);
+  EXPECT_THROW((void)quantile(std::vector<double>{1, 2}, 1.5), InvalidArgument);
+  EXPECT_THROW((void)quantile(std::vector<double>{1, 2}, -0.1), InvalidArgument);
+}
+
+TEST(Quantile, Iqr) {
+  std::vector<double> xs;
+  for (int i = 1; i <= 100; ++i) xs.push_back(i);
+  EXPECT_NEAR(iqr(xs), 49.5, 1e-9);
+}
+
+TEST(Quantile, BatchMatchesIndividual) {
+  Rng rng{3};
+  std::vector<double> xs;
+  for (int i = 0; i < 1000; ++i) xs.push_back(rng.uniform());
+  const std::vector<double> qs{0.05, 0.5, 0.95};
+  const auto batch = quantiles(xs, qs);
+  ASSERT_EQ(batch.size(), 3u);
+  for (std::size_t i = 0; i < qs.size(); ++i) {
+    EXPECT_DOUBLE_EQ(batch[i], quantile(xs, qs[i]));
+  }
+}
+
+// Property sweep: monotonicity and bounds over random samples.
+class QuantileProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(QuantileProperty, MonotoneAndBounded) {
+  Rng rng{GetParam()};
+  std::vector<double> xs;
+  const auto n = 1 + rng.index(500);
+  for (std::size_t i = 0; i < n; ++i) xs.push_back(rng.lognormal(0, 2));
+  std::vector<double> sorted = xs;
+  std::sort(sorted.begin(), sorted.end());
+
+  double prev = sorted.front();
+  for (double q = 0.0; q <= 1.0001; q += 0.05) {
+    const double v = quantile(xs, std::min(q, 1.0));
+    EXPECT_GE(v, sorted.front());
+    EXPECT_LE(v, sorted.back());
+    EXPECT_GE(v + 1e-12, prev) << "q=" << q;
+    prev = v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QuantileProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace bblab::stats

@@ -1,0 +1,91 @@
+#include "stats/ranksum.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/error.h"
+#include "core/rng.h"
+
+namespace bblab::stats {
+namespace {
+
+TEST(NormalSf, KnownValues) {
+  EXPECT_NEAR(normal_sf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(normal_sf(1.96), 0.025, 1e-3);
+  EXPECT_NEAR(normal_sf(-1.96), 0.975, 1e-3);
+}
+
+TEST(RankSum, ClearlyShiftedDistributions) {
+  Rng rng{3};
+  std::vector<double> hi;
+  std::vector<double> lo;
+  for (int i = 0; i < 300; ++i) {
+    hi.push_back(rng.normal(2.0, 1.0));
+    lo.push_back(rng.normal(0.0, 1.0));
+  }
+  const auto result = rank_sum_test(hi, lo);
+  EXPECT_LT(result.p_greater, 1e-10);
+  EXPECT_GT(result.effect_size, 0.85);
+}
+
+TEST(RankSum, IdenticalDistributionsAreNull) {
+  Rng rng{6};
+  std::vector<double> a;
+  std::vector<double> b;
+  for (int i = 0; i < 500; ++i) {
+    a.push_back(rng.lognormal(0, 1));
+    b.push_back(rng.lognormal(0, 1));
+  }
+  const auto result = rank_sum_test(a, b);
+  EXPECT_GT(result.p_two_sided, 0.05);
+  EXPECT_NEAR(result.effect_size, 0.5, 0.05);
+}
+
+TEST(RankSum, SmallExactCase) {
+  // xs = {3, 5}, ys = {1, 2}: every x beats every y, U = 4 of 4.
+  const auto result =
+      rank_sum_test(std::vector<double>{3, 5}, std::vector<double>{1, 2});
+  EXPECT_DOUBLE_EQ(result.u, 4.0);
+  EXPECT_DOUBLE_EQ(result.effect_size, 1.0);
+  EXPECT_LT(result.p_greater, 0.5);
+}
+
+TEST(RankSum, TiesHandled) {
+  const std::vector<double> a{1, 2, 2, 3};
+  const std::vector<double> b{2, 2, 2, 2};
+  const auto result = rank_sum_test(a, b);
+  EXPECT_GT(result.p_two_sided, 0.3);  // nothing to distinguish
+  EXPECT_NEAR(result.effect_size, 0.5, 0.01);
+}
+
+TEST(RankSum, AllValuesIdentical) {
+  const std::vector<double> a(10, 7.0);
+  const std::vector<double> b(12, 7.0);
+  const auto result = rank_sum_test(a, b);
+  EXPECT_DOUBLE_EQ(result.p_greater, 0.5);
+  EXPECT_DOUBLE_EQ(result.p_two_sided, 1.0);
+}
+
+TEST(RankSum, DirectionFlipsWithArguments) {
+  Rng rng{7};
+  std::vector<double> hi;
+  std::vector<double> lo;
+  for (int i = 0; i < 100; ++i) {
+    hi.push_back(rng.normal(1.0, 1.0));
+    lo.push_back(rng.normal(0.0, 1.0));
+  }
+  const auto forward = rank_sum_test(hi, lo);
+  const auto backward = rank_sum_test(lo, hi);
+  EXPECT_LT(forward.p_greater, 0.05);
+  EXPECT_GT(backward.p_greater, 0.95);
+  EXPECT_NEAR(forward.effect_size + backward.effect_size, 1.0, 1e-9);
+}
+
+TEST(RankSum, ValidatesInput) {
+  EXPECT_THROW(rank_sum_test(std::vector<double>{}, std::vector<double>{1.0}),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace bblab::stats

@@ -1,0 +1,101 @@
+#include "stats/regression.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/error.h"
+#include "core/rng.h"
+
+namespace bblab::stats {
+namespace {
+
+TEST(LinearFit, RecoversExactLine) {
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (int i = 0; i < 20; ++i) {
+    xs.push_back(i);
+    ys.push_back(3.0 + 2.5 * i);
+  }
+  const auto fit = linear_fit(xs, ys);
+  EXPECT_NEAR(fit.slope, 2.5, 1e-12);
+  EXPECT_NEAR(fit.intercept, 3.0, 1e-12);
+  EXPECT_NEAR(fit.r, 1.0, 1e-12);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+  EXPECT_NEAR(fit.slope_stderr, 0.0, 1e-9);
+  EXPECT_NEAR(fit.at(100.0), 253.0, 1e-9);
+}
+
+TEST(LinearFit, RecoversNoisyLine) {
+  Rng rng{3};
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (int i = 0; i < 5000; ++i) {
+    const double x = rng.uniform(0, 100);
+    xs.push_back(x);
+    ys.push_back(20.0 + 0.96 * x + rng.normal(0, 5));
+  }
+  const auto fit = linear_fit(xs, ys);
+  EXPECT_NEAR(fit.slope, 0.96, 0.01);
+  EXPECT_NEAR(fit.intercept, 20.0, 0.5);
+  EXPECT_GT(fit.r, 0.98);
+  EXPECT_GT(fit.slope_stderr, 0.0);
+  // Slope should be within ~4 standard errors of the truth.
+  EXPECT_LT(std::abs(fit.slope - 0.96), 4 * fit.slope_stderr);
+}
+
+TEST(LinearFit, DegenerateInputs) {
+  const auto tiny = linear_fit(std::vector<double>{1}, std::vector<double>{2});
+  EXPECT_DOUBLE_EQ(tiny.slope, 0.0);
+  const auto flat =
+      linear_fit(std::vector<double>{2, 2, 2}, std::vector<double>{1, 2, 3});
+  EXPECT_DOUBLE_EQ(flat.slope, 0.0);
+  EXPECT_THROW(linear_fit(std::vector<double>{1, 2}, std::vector<double>{1}),
+               InvalidArgument);
+}
+
+TEST(Ols, MatchesSimpleRegression) {
+  Rng rng{5};
+  std::vector<std::vector<double>> rows;
+  std::vector<double> ys;
+  std::vector<double> xs;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.uniform(0, 10);
+    rows.push_back({x});
+    xs.push_back(x);
+    ys.push_back(1.5 - 0.7 * x + rng.normal(0, 0.1));
+  }
+  const auto beta = ols(rows, ys);
+  const auto fit = linear_fit(xs, ys);
+  ASSERT_EQ(beta.size(), 2u);
+  EXPECT_NEAR(beta[0], fit.intercept, 1e-6);
+  EXPECT_NEAR(beta[1], fit.slope, 1e-6);
+}
+
+TEST(Ols, RecoversMultivariateCoefficients) {
+  Rng rng{7};
+  std::vector<std::vector<double>> rows;
+  std::vector<double> ys;
+  for (int i = 0; i < 4000; ++i) {
+    const double a = rng.uniform(-1, 1);
+    const double b = rng.uniform(-1, 1);
+    const double c = rng.uniform(-1, 1);
+    rows.push_back({a, b, c});
+    ys.push_back(2.0 + 1.0 * a - 3.0 * b + 0.5 * c + rng.normal(0, 0.05));
+  }
+  const auto beta = ols(rows, ys);
+  ASSERT_EQ(beta.size(), 4u);
+  EXPECT_NEAR(beta[0], 2.0, 0.01);
+  EXPECT_NEAR(beta[1], 1.0, 0.01);
+  EXPECT_NEAR(beta[2], -3.0, 0.01);
+  EXPECT_NEAR(beta[3], 0.5, 0.01);
+}
+
+TEST(Ols, ValidatesShapes) {
+  EXPECT_THROW(ols({}, std::vector<double>{}), InvalidArgument);
+  EXPECT_THROW(ols({{1.0}, {2.0, 3.0}}, std::vector<double>{1, 2}), InvalidArgument);
+  EXPECT_THROW(ols({{1.0}}, std::vector<double>{1, 2}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace bblab::stats

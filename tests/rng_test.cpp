@@ -1,0 +1,187 @@
+#include "core/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "core/error.h"
+
+namespace bblab {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a{123};
+  Rng b{123};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a{1};
+  Rng b{2};
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng{7};
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng rng{11};
+  double sum = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+  Rng rng{5};
+  std::vector<int> counts(6, 0);
+  for (int i = 0; i < 60000; ++i) {
+    const auto v = rng.uniform_int(0, 5);
+    ASSERT_GE(v, 0);
+    ASSERT_LE(v, 5);
+    ++counts[static_cast<std::size_t>(v)];
+  }
+  for (const int c : counts) EXPECT_NEAR(c, 10000, 600);
+}
+
+TEST(Rng, UniformIntRejectsBadRange) {
+  Rng rng{1};
+  EXPECT_THROW(rng.uniform_int(3, 2), InvalidArgument);
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Rng rng{17};
+  constexpr int kN = 200000;
+  double sum = 0.0;
+  double ss = 0.0;
+  for (int i = 0; i < kN; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    ss += x * x;
+  }
+  const double mean = sum / kN;
+  const double var = ss / kN - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(Rng, LognormalMedianIsExpMu) {
+  Rng rng{23};
+  std::vector<double> xs(50001);
+  for (auto& x : xs) x = rng.lognormal(std::log(4.0), 0.8);
+  std::nth_element(xs.begin(), xs.begin() + 25000, xs.end());
+  EXPECT_NEAR(xs[25000], 4.0, 0.15);
+}
+
+TEST(Rng, ExponentialMeanIsInverseLambda) {
+  Rng rng{29};
+  double sum = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) sum += rng.exponential(0.25);
+  EXPECT_NEAR(sum / kN, 4.0, 0.1);
+}
+
+TEST(Rng, ExponentialRejectsNonPositiveLambda) {
+  Rng rng{1};
+  EXPECT_THROW(rng.exponential(0.0), InvalidArgument);
+}
+
+TEST(Rng, ParetoRespectsMinimumAndTail) {
+  Rng rng{31};
+  int above_double = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    const double x = rng.pareto(2.0, 1.5);
+    ASSERT_GE(x, 2.0);
+    if (x > 4.0) ++above_double;
+  }
+  // P(X > 2*x_min) = 2^-alpha = 0.3536.
+  EXPECT_NEAR(static_cast<double>(above_double) / kN, std::pow(2.0, -1.5), 0.01);
+}
+
+TEST(Rng, PoissonMeanMatchesSmallAndLarge) {
+  Rng rng{37};
+  for (const double mean : {0.5, 3.0, 20.0, 200.0}) {
+    double sum = 0.0;
+    constexpr int kN = 20000;
+    for (int i = 0; i < kN; ++i) sum += static_cast<double>(rng.poisson(mean));
+    EXPECT_NEAR(sum / kN, mean, std::max(0.05, mean * 0.03)) << "mean=" << mean;
+  }
+}
+
+TEST(Rng, PoissonZeroMeanIsZero) {
+  Rng rng{1};
+  EXPECT_EQ(rng.poisson(0.0), 0u);
+}
+
+TEST(Rng, WeightedFollowsWeights) {
+  Rng rng{41};
+  const std::vector<double> weights{1.0, 3.0, 6.0};
+  std::vector<int> counts(3, 0);
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) ++counts[rng.weighted(weights)];
+  EXPECT_NEAR(counts[0] / static_cast<double>(kN), 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(kN), 0.3, 0.01);
+  EXPECT_NEAR(counts[2] / static_cast<double>(kN), 0.6, 0.01);
+}
+
+TEST(Rng, WeightedRejectsDegenerateInput) {
+  Rng rng{1};
+  EXPECT_THROW(rng.weighted(std::vector<double>{}), InvalidArgument);
+  EXPECT_THROW(rng.weighted(std::vector<double>{0.0, 0.0}), InvalidArgument);
+  EXPECT_THROW(rng.weighted(std::vector<double>{-1.0, 2.0}), InvalidArgument);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng{43};
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  auto shuffled = v;
+  rng.shuffle(shuffled);
+  EXPECT_NE(shuffled, v);  // astronomically unlikely to be identity
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(Rng, ForkProducesIndependentStreams) {
+  Rng parent{99};
+  Rng c1 = parent.fork(1);
+  Rng c2 = parent.fork(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (c1.next_u64() == c2.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+  // Forking must not perturb the parent.
+  Rng parent2{99};
+  (void)parent2.fork(1);
+  EXPECT_EQ(parent.next_u64(), parent2.next_u64());
+}
+
+// Property sweep: index() is in range for many sizes.
+class RngIndexTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(RngIndexTest, IndexInRange) {
+  Rng rng{GetParam()};
+  const std::size_t size = GetParam();
+  for (int i = 0; i < 1000; ++i) ASSERT_LT(rng.index(size), size);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RngIndexTest,
+                         ::testing::Values(1, 2, 3, 7, 64, 1000, 123457));
+
+}  // namespace
+}  // namespace bblab

@@ -1,0 +1,63 @@
+#include "causal/sensitivity.h"
+
+#include <gtest/gtest.h>
+
+#include "core/error.h"
+#include "stats/binomial.h"
+
+namespace bblab::causal {
+namespace {
+
+TEST(RosenbaumBound, GammaOneIsTheSignTest) {
+  EXPECT_DOUBLE_EQ(rosenbaum_p_bound(660, 1000, 1.0),
+                   stats::binomial_p_greater(660, 1000, 0.5));
+}
+
+TEST(RosenbaumBound, MonotoneInGamma) {
+  double prev = 0.0;
+  for (const double gamma : {1.0, 1.2, 1.5, 2.0, 3.0}) {
+    const double p = rosenbaum_p_bound(660, 1000, gamma);
+    EXPECT_GE(p, prev) << gamma;
+    prev = p;
+  }
+}
+
+TEST(RosenbaumBound, EdgeCases) {
+  EXPECT_DOUBLE_EQ(rosenbaum_p_bound(0, 0, 1.5), 1.0);
+  EXPECT_THROW(rosenbaum_p_bound(5, 10, 0.9), InvalidArgument);
+  EXPECT_THROW(rosenbaum_p_bound(11, 10, 1.5), InvalidArgument);
+}
+
+TEST(SensitivityAnalysis, StrongResultSurvivesLargerBias) {
+  // Paper-scale Table 1: 70.3% of ~1200 pairs — a strong effect.
+  const auto strong = sensitivity_analysis(843, 1200);
+  // A marginal 53% of 1200 — barely significant.
+  const auto weak = sensitivity_analysis(636, 1200);
+  EXPECT_GT(strong.critical_gamma, weak.critical_gamma);
+  EXPECT_GT(strong.critical_gamma, 1.5);
+  EXPECT_LT(weak.critical_gamma, 1.2);
+}
+
+TEST(SensitivityAnalysis, NeverSignificantGivesGammaOne) {
+  const auto result = sensitivity_analysis(500, 1000);
+  EXPECT_DOUBLE_EQ(result.critical_gamma, 1.0);
+}
+
+TEST(SensitivityAnalysis, CurveAndRendering) {
+  const auto result = sensitivity_analysis(700, 1000);
+  ASSERT_GE(result.curve.size(), 3u);
+  EXPECT_DOUBLE_EQ(result.curve.front().gamma, 1.0);
+  for (std::size_t i = 1; i < result.curve.size(); ++i) {
+    EXPECT_GE(result.curve[i].p_bound, result.curve[i - 1].p_bound);
+  }
+  EXPECT_NE(result.to_string().find("Gamma="), std::string::npos);
+}
+
+TEST(SensitivityAnalysis, CriticalGammaMatchesDirectCheck) {
+  const auto result = sensitivity_analysis(660, 1000, 0.05, 3.0);
+  EXPECT_LT(rosenbaum_p_bound(660, 1000, result.critical_gamma), 0.05);
+  EXPECT_GE(rosenbaum_p_bound(660, 1000, result.critical_gamma + 0.02), 0.05);
+}
+
+}  // namespace
+}  // namespace bblab::causal

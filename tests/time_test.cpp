@@ -1,0 +1,58 @@
+#include "core/time.h"
+
+#include <gtest/gtest.h>
+
+namespace bblab {
+namespace {
+
+TEST(SimClock, YearAdvancesWithSimYears) {
+  const SimClock clock{2011};
+  EXPECT_EQ(clock.year(0.0), 2011);
+  EXPECT_EQ(clock.year(kYear - 1.0), 2011);
+  EXPECT_EQ(clock.year(kYear), 2012);
+  EXPECT_EQ(clock.year(2.5 * kYear), 2013);
+}
+
+TEST(SimClock, HourOfDayWraps) {
+  EXPECT_DOUBLE_EQ(SimClock::hour_of_day(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(SimClock::hour_of_day(kHour * 13.5), 13.5);
+  EXPECT_DOUBLE_EQ(SimClock::hour_of_day(kDay + kHour * 2), 2.0);
+}
+
+TEST(SimClock, DayOfWeekCycles) {
+  const SimClock clock{2011, 0};
+  EXPECT_EQ(clock.day_of_week(0.0), 0);
+  EXPECT_EQ(clock.day_of_week(kDay * 4), 4);
+  EXPECT_EQ(clock.day_of_week(kDay * 7), 0);
+  EXPECT_EQ(clock.day_of_week(kDay * 13), 6);
+}
+
+TEST(SimClock, WeekendDetection) {
+  const SimClock clock{2011, 0};  // day 0 = Monday
+  EXPECT_FALSE(clock.is_weekend(0.0));
+  EXPECT_FALSE(clock.is_weekend(kDay * 4 + kHour));  // Friday
+  EXPECT_TRUE(clock.is_weekend(kDay * 5 + kHour));   // Saturday
+  EXPECT_TRUE(clock.is_weekend(kDay * 6 + kHour));   // Sunday
+}
+
+TEST(SimClock, EpochWeekdayShiftsCycle) {
+  const SimClock clock{2011, 5};  // simulation starts on a Saturday
+  EXPECT_TRUE(clock.is_weekend(0.0));
+  EXPECT_FALSE(clock.is_weekend(kDay * 2));  // Monday
+}
+
+TEST(SimClock, LabelFormat) {
+  const SimClock clock{2011};
+  EXPECT_EQ(clock.label(0.0), "2011-w00 day0 00:00");
+  EXPECT_EQ(clock.label(kYear + kWeek * 3 + kDay * 2 + kHour * 14 + kMinute * 30),
+            "2012-w03 day2 14:30");
+}
+
+TEST(TimeConstants, AreConsistent) {
+  EXPECT_DOUBLE_EQ(kDay, 86400.0);
+  EXPECT_DOUBLE_EQ(kWeek, 7 * kDay);
+  EXPECT_DOUBLE_EQ(kYear, 52 * kWeek);
+}
+
+}  // namespace
+}  // namespace bblab

@@ -1,0 +1,90 @@
+#include "core/units.h"
+
+#include <gtest/gtest.h>
+
+namespace bblab {
+namespace {
+
+TEST(Rate, ConversionsRoundTrip) {
+  const Rate r = Rate::from_mbps(7.4);
+  EXPECT_DOUBLE_EQ(r.mbps(), 7.4);
+  EXPECT_DOUBLE_EQ(r.kbps(), 7400.0);
+  EXPECT_DOUBLE_EQ(r.bps(), 7.4e6);
+  EXPECT_DOUBLE_EQ(r.gbps(), 7.4e-3);
+}
+
+TEST(Rate, BytesPerSecondIsBitsOverEight) {
+  const Rate r = Rate::from_bytes_per_sec(1000.0);
+  EXPECT_DOUBLE_EQ(r.bps(), 8000.0);
+  EXPECT_DOUBLE_EQ(r.bytes_per_sec(), 1000.0);
+}
+
+TEST(Rate, Arithmetic) {
+  const Rate a = Rate::from_mbps(4.0);
+  const Rate b = Rate::from_mbps(2.0);
+  EXPECT_DOUBLE_EQ((a + b).mbps(), 6.0);
+  EXPECT_DOUBLE_EQ((a - b).mbps(), 2.0);
+  EXPECT_DOUBLE_EQ((a * 2.0).mbps(), 8.0);
+  EXPECT_DOUBLE_EQ((a / 2.0).mbps(), 2.0);
+  EXPECT_DOUBLE_EQ(a / b, 2.0);
+}
+
+TEST(Rate, CompoundAssignment) {
+  Rate r = Rate::from_mbps(1.0);
+  r += Rate::from_mbps(2.0);
+  EXPECT_DOUBLE_EQ(r.mbps(), 3.0);
+  r -= Rate::from_mbps(1.0);
+  EXPECT_DOUBLE_EQ(r.mbps(), 2.0);
+  r *= 3.0;
+  EXPECT_DOUBLE_EQ(r.mbps(), 6.0);
+  r /= 2.0;
+  EXPECT_DOUBLE_EQ(r.mbps(), 3.0);
+}
+
+TEST(Rate, Ordering) {
+  EXPECT_LT(Rate::from_kbps(512), Rate::from_mbps(1));
+  EXPECT_GT(Rate::from_gbps(1), Rate::from_mbps(999));
+  EXPECT_EQ(Rate::from_mbps(1), Rate::from_kbps(1000));
+}
+
+TEST(Rate, DefaultIsZero) {
+  EXPECT_TRUE(Rate{}.is_zero());
+  EXPECT_FALSE(Rate::from_bps(1).is_zero());
+}
+
+TEST(Rate, ToStringPicksUnit) {
+  EXPECT_EQ(Rate::from_mbps(7.4).to_string(), "7.4 Mbps");
+  EXPECT_EQ(Rate::from_kbps(512).to_string(), "512 kbps");
+  EXPECT_EQ(Rate::from_gbps(1.5).to_string(), "1.5 Gbps");
+  EXPECT_EQ(Rate::from_bps(250).to_string(), "250 bps");
+}
+
+TEST(MoneyPpp, Arithmetic) {
+  const MoneyPpp a = MoneyPpp::usd(25.0);
+  const MoneyPpp b = MoneyPpp::usd(5.0);
+  EXPECT_DOUBLE_EQ((a + b).dollars(), 30.0);
+  EXPECT_DOUBLE_EQ((a - b).dollars(), 20.0);
+  EXPECT_DOUBLE_EQ((a * 2.0).dollars(), 50.0);
+  EXPECT_DOUBLE_EQ(a / b, 5.0);
+}
+
+TEST(MoneyPpp, ToString) {
+  EXPECT_EQ(MoneyPpp::usd(53.0).to_string(), "$53.00");
+  EXPECT_EQ(MoneyPpp::usd(0.5).to_string(), "$0.50");
+}
+
+TEST(RateOver, ComputesAverage) {
+  // 3.75 MB over 30 s = 1 Mbps.
+  EXPECT_NEAR(rate_over(3.75e6, 30.0).mbps(), 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(rate_over(1000.0, 0.0).bps(), 0.0);
+}
+
+TEST(FormatBytes, PicksSuffix) {
+  EXPECT_EQ(format_bytes(512), "512 B");
+  EXPECT_EQ(format_bytes(2048), "2 KiB");
+  EXPECT_EQ(format_bytes(3.5 * 1024 * 1024), "3.5 MiB");
+  EXPECT_EQ(format_bytes(2.0 * 1024 * 1024 * 1024), "2 GiB");
+}
+
+}  // namespace
+}  // namespace bblab

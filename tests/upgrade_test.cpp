@@ -1,0 +1,118 @@
+#include "market/upgrade.h"
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+
+namespace bblab::market {
+namespace {
+
+struct Fixture {
+  World world = World::builtin();
+  PlanCatalog catalog;
+  ChoiceModel choice{1.0};
+
+  explicit Fixture(const std::string& code, std::uint64_t seed = 3) {
+    Rng rng{seed};
+    catalog = PlanCatalog::generate(world.at(code), rng);
+    std::vector<Household> probes;
+    Rng prng{seed + 1};
+    for (int i = 0; i < 200; ++i) probes.push_back(sample_household(world.at(code), prng));
+    choice = ChoiceModel::calibrated(world.at(code), catalog, probes);
+  }
+};
+
+TEST(UpgradeModel, GrowingNeedsEventuallyTriggerUpgrades) {
+  const Fixture fx{"US"};
+  const UpgradeModel model{fx.choice, UpgradePolicy{.annual_need_growth = 1.6,
+                                                    .switching_friction = 0.5,
+                                                    .reevaluation_rate = 1.0}};
+  Rng rng{5};
+  int upgraded = 0;
+  for (int i = 0; i < 60; ++i) {
+    Household h = sample_household(fx.world.at("US"), rng);
+    const auto plan = fx.choice.choose(h, fx.catalog);
+    ASSERT_TRUE(plan.has_value());
+    const auto events = model.evolve(h, *plan, fx.catalog, 2011, 4, rng);
+    for (const auto& e : events) {
+      if (e.is_upgrade()) ++upgraded;
+    }
+  }
+  EXPECT_GT(upgraded, 20);
+}
+
+TEST(UpgradeModel, NoGrowthMeansFewSwitches) {
+  const Fixture fx{"US"};
+  const UpgradeModel model{fx.choice, UpgradePolicy{.annual_need_growth = 1.0,
+                                                    .switching_friction = 8.0,
+                                                    .reevaluation_rate = 1.0}};
+  Rng rng{7};
+  int switches = 0;
+  for (int i = 0; i < 60; ++i) {
+    Household h = sample_household(fx.world.at("US"), rng);
+    const auto plan = fx.choice.choose(h, fx.catalog);
+    ASSERT_TRUE(plan.has_value());
+    switches += static_cast<int>(model.evolve(h, *plan, fx.catalog, 2011, 3, rng).size());
+  }
+  // With static needs and friction, most users stay put.
+  EXPECT_LT(switches, 25);
+}
+
+TEST(UpgradeModel, EventsCarryConsistentYears) {
+  const Fixture fx{"JP"};
+  const UpgradeModel model{fx.choice, UpgradePolicy{.annual_need_growth = 1.8,
+                                                    .switching_friction = 1.0,
+                                                    .reevaluation_rate = 1.0}};
+  Rng rng{11};
+  Household h = sample_household(fx.world.at("JP"), rng);
+  const auto plan = fx.choice.choose(h, fx.catalog);
+  ASSERT_TRUE(plan.has_value());
+  const auto events = model.evolve(h, *plan, fx.catalog, 2011, 5, rng);
+  int last_year = 2011;
+  Rate last_capacity = plan->download;
+  for (const auto& e : events) {
+    EXPECT_GT(e.year, last_year - 1);
+    EXPECT_LE(e.year, 2016);
+    EXPECT_EQ(e.old_plan.download.bps(), last_capacity.bps());
+    last_year = e.year;
+    last_capacity = e.new_plan.download;
+  }
+}
+
+TEST(UpgradeModel, NeedsAreMutated) {
+  const Fixture fx{"US"};
+  const UpgradeModel model{fx.choice, UpgradePolicy{.annual_need_growth = 1.32}};
+  Rng rng{13};
+  Household h = sample_household(fx.world.at("US"), rng);
+  const double before = h.need_mbps;
+  const auto plan = fx.choice.choose(h, fx.catalog);
+  ASSERT_TRUE(plan.has_value());
+  (void)model.evolve(h, *plan, fx.catalog, 2011, 3, rng);
+  EXPECT_GT(h.need_mbps, before);
+}
+
+TEST(UpgradeModel, ExpensiveMarketsUpgradeLess) {
+  // §6 ground truth: the same need growth produces fewer upgrades where
+  // the per-Mbps cost is high (Botswana) than where it is low (Japan).
+  const auto count_upgrades = [](const std::string& code) {
+    const Fixture fx{code, 17};
+    const UpgradeModel model{fx.choice, UpgradePolicy{.annual_need_growth = 1.32,
+                                                      .switching_friction = 0.3,
+                                                      .reevaluation_rate = 1.0}};
+    Rng rng{19};
+    int upgrades = 0;
+    for (int i = 0; i < 150; ++i) {
+      Household h = sample_household(fx.world.at(code), rng);
+      const auto plan = fx.choice.choose(h, fx.catalog);
+      if (!plan) continue;
+      for (const auto& e : model.evolve(h, *plan, fx.catalog, 2011, 2, rng)) {
+        if (e.is_upgrade()) ++upgrades;
+      }
+    }
+    return upgrades;
+  };
+  EXPECT_GT(count_upgrades("JP"), count_upgrades("BW"));
+}
+
+}  // namespace
+}  // namespace bblab::market

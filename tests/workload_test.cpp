@@ -1,0 +1,160 @@
+#include "netsim/workload.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/error.h"
+
+namespace bblab::netsim {
+namespace {
+
+WorkloadGenerator make_generator() {
+  const SimClock clock{2011};
+  return WorkloadGenerator{DiurnalModel{DiurnalParams{}, clock}};
+}
+
+AccessLink link(double mbps) {
+  AccessLink l;
+  l.down = Rate::from_mbps(mbps);
+  l.up = Rate::from_mbps(mbps / 8);
+  l.rtt_ms = 40.0;
+  l.loss = 0.0005;
+  return l;
+}
+
+TEST(Workload, FlowsAreSortedAndInWindow) {
+  const auto gen = make_generator();
+  Rng rng{3};
+  WorkloadParams params;
+  const auto flows = gen.generate(params, link(10), 0.0, 2 * kDay, rng);
+  EXPECT_FALSE(flows.empty());
+  for (std::size_t i = 1; i < flows.size(); ++i) {
+    EXPECT_LE(flows[i - 1].start, flows[i].start);
+  }
+  for (const auto& f : flows) {
+    EXPECT_GE(f.start, 0.0);
+    EXPECT_LT(f.start, 2 * kDay);
+  }
+}
+
+TEST(Workload, IntensityScalesSessionCount) {
+  const auto gen = make_generator();
+  Rng rng1{5};
+  Rng rng2{5};
+  WorkloadParams quiet;
+  quiet.intensity = 0.3;
+  quiet.heavy_intensity = 0.3;
+  WorkloadParams busy;
+  busy.intensity = 3.0;
+  busy.heavy_intensity = 3.0;
+  const auto few = gen.generate(quiet, link(10), 0.0, 3 * kDay, rng1);
+  const auto many = gen.generate(busy, link(10), 0.0, 3 * kDay, rng2);
+  EXPECT_GT(many.size(), few.size() * 3);
+}
+
+TEST(Workload, ZeroIntensityLeavesOnlyBackground) {
+  const auto gen = make_generator();
+  Rng rng{7};
+  WorkloadParams params;
+  params.intensity = 0.0;
+  params.heavy_intensity = 0.0;
+  const auto flows = gen.generate(params, link(10), 0.0, kDay, rng);
+  for (const auto& f : flows) {
+    EXPECT_EQ(f.app, AppKind::kBackground);
+  }
+}
+
+TEST(Workload, BitTorrentOnlyWhenHabitual) {
+  const auto gen = make_generator();
+  Rng rng{9};
+  WorkloadParams no_bt;
+  no_bt.bt_sessions_per_day = 0.0;
+  const auto flows = gen.generate(no_bt, link(10), 0.0, 7 * kDay, rng);
+  EXPECT_TRUE(std::none_of(flows.begin(), flows.end(), [](const Flow& f) {
+    return f.app == AppKind::kBitTorrent;
+  }));
+
+  WorkloadParams heavy;
+  heavy.bt_sessions_per_day = 4.0;
+  Rng rng2{9};
+  const auto bt_flows = gen.generate(heavy, link(10), 0.0, 7 * kDay, rng2);
+  const auto bt_count = std::count_if(bt_flows.begin(), bt_flows.end(), [](const Flow& f) {
+    return f.app == AppKind::kBitTorrent;
+  });
+  EXPECT_GT(bt_count, 4);  // both directions per session
+}
+
+TEST(Workload, BitTorrentComesInPairsWithSwarmCaps) {
+  const auto gen = make_generator();
+  Rng rng{11};
+  WorkloadParams params;
+  params.bt_sessions_per_day = 6.0;
+  const auto flows = gen.generate(params, link(100), 0.0, 7 * kDay, rng);
+  int down = 0;
+  int up = 0;
+  for (const auto& f : flows) {
+    if (f.app != AppKind::kBitTorrent) continue;
+    EXPECT_GT(f.rate_cap.bps(), 0.0);  // swarm-limited
+    (f.direction == Direction::kDown ? down : up)++;
+  }
+  EXPECT_EQ(down, up);
+  EXPECT_GT(down, 0);
+}
+
+TEST(Workload, AbrPicksLadderRungBelowBudget) {
+  const auto gen = make_generator();
+  // 10 Mbps clean link: 0.8 * ~10 = 8 budget, top rung 5.0 with default cap.
+  EXPECT_DOUBLE_EQ(gen.abr_bitrate_mbps(link(10), 5.0), 5.0);
+  // 2 Mbps link: budget 1.6 -> rung 1.1.
+  EXPECT_DOUBLE_EQ(gen.abr_bitrate_mbps(link(2), 5.0), 1.1);
+  // 0.3 Mbps link: below the bottom rung, still plays 0.35.
+  EXPECT_DOUBLE_EQ(gen.abr_bitrate_mbps(link(0.3), 5.0), 0.35);
+  // Device cap binds on fast links.
+  EXPECT_DOUBLE_EQ(gen.abr_bitrate_mbps(link(100), 2.0), 1.8);
+}
+
+TEST(Workload, AbrDegradesOnPoorQuality) {
+  const auto gen = make_generator();
+  AccessLink bad = link(20);
+  bad.rtt_ms = 650.0;
+  bad.loss = 0.02;
+  EXPECT_LT(gen.abr_bitrate_mbps(bad, 8.0), gen.abr_bitrate_mbps(link(20), 8.0));
+}
+
+TEST(Workload, DiurnalConcentratesArrivals) {
+  const auto gen = make_generator();
+  Rng rng{13};
+  WorkloadParams params;
+  params.intensity = 2.0;
+  const auto flows = gen.generate(params, link(10), 0.0, 14 * kDay, rng);
+  std::size_t evening = 0;
+  std::size_t morning = 0;
+  for (const auto& f : flows) {
+    if (f.app == AppKind::kBackground) continue;
+    const double hour = SimClock::hour_of_day(f.start);
+    if (hour >= 19 && hour < 23) ++evening;
+    if (hour >= 5 && hour < 9) ++morning;
+  }
+  EXPECT_GT(evening, 2 * morning);
+}
+
+TEST(Workload, VideoLadderIsAscending) {
+  const auto ladder = video_ladder_mbps();
+  EXPECT_GE(ladder.size(), 5u);
+  for (std::size_t i = 1; i < ladder.size(); ++i) {
+    EXPECT_GT(ladder[i], ladder[i - 1]);
+  }
+}
+
+TEST(Workload, ValidatesArguments) {
+  const auto gen = make_generator();
+  Rng rng{1};
+  WorkloadParams params;
+  EXPECT_THROW(gen.generate(params, link(10), 100.0, 100.0, rng), InvalidArgument);
+  params.intensity = -1.0;
+  EXPECT_THROW(gen.generate(params, link(10), 0.0, kDay, rng), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace bblab::netsim

@@ -1,0 +1,262 @@
+// bblab — command-line driver for the broadband-lab library.
+//
+//   bblab markets [CC...]             market summaries (plans, prices, slopes)
+//   bblab generate [options]          synthesize a study dataset to CSV
+//   bblab experiment <name> [options] run one of the paper's experiments
+//   bblab figure <name> [options]     print one of the paper's figures
+//
+// Common options:
+//   --seed N        generator seed            (default 2014)
+//   --scale X       population scale          (default 0.1)
+//   --days X        observation window days   (default 1.0)
+//   --out DIR       output directory for `generate` (default bblab_out)
+//   --placebo       disable all planted causal effects
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/figures.h"
+#include "analysis/report.h"
+#include "analysis/scorecard.h"
+#include "analysis/tables.h"
+#include "core/logging.h"
+#include "dataset/csv.h"
+#include "dataset/generator.h"
+#include "market/catalog.h"
+
+namespace {
+
+using namespace bblab;
+
+struct CliOptions {
+  std::uint64_t seed{2014};
+  double scale{0.1};
+  double days{1.0};
+  std::string out{"bblab_out"};
+  bool placebo{false};
+  bool markdown{false};
+  std::vector<std::string> positional;
+};
+
+int usage() {
+  std::cerr
+      << "usage: bblab <command> [args]\n"
+         "  markets [CC...]              market summaries\n"
+         "  generate [--out DIR]         synthesize a dataset to CSV\n"
+         "  experiment <tab1|tab2|tab3|tab5|tab6|tab7|tab8>\n"
+         "  figure <fig1|fig2|fig6|fig10>\n"
+         "  scorecard [--markdown]       run every paper-claim check\n"
+         "common: --seed N --scale X --days X --placebo\n";
+  return 2;
+}
+
+bool parse(int argc, char** argv, CliOptions& options) {
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--seed") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options.seed = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--scale") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options.scale = std::atof(v);
+    } else if (arg == "--days") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options.days = std::atof(v);
+    } else if (arg == "--out") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options.out = v;
+    } else if (arg == "--placebo") {
+      options.placebo = true;
+    } else if (arg == "--markdown") {
+      options.markdown = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "unknown option: " << arg << "\n";
+      return false;
+    } else {
+      options.positional.push_back(arg);
+    }
+  }
+  return true;
+}
+
+dataset::StudyDataset make_dataset(const CliOptions& options) {
+  dataset::StudyConfig config;
+  config.seed = options.seed;
+  config.population_scale = options.scale;
+  config.window_days = options.days;
+  config.placebo = options.placebo;
+  std::cerr << "generating dataset (seed " << config.seed << ", scale "
+            << config.population_scale << ")...\n";
+  return dataset::StudyGenerator{market::World::builtin(), config}.generate();
+}
+
+int cmd_markets(const CliOptions& options) {
+  const auto world = market::World::builtin();
+  auto codes = options.positional;
+  if (codes.empty()) {
+    for (const auto& c : world.countries()) codes.push_back(c.code);
+  }
+  std::cout << "code  name                       access($)  $/Mbps     r     plans\n";
+  for (const auto& code : codes) {
+    if (!world.contains(code)) {
+      std::cerr << "unknown country: " << code << "\n";
+      continue;
+    }
+    const auto& country = world.at(code);
+    Rng rng{options.seed};
+    const auto catalog = market::PlanCatalog::generate(country, rng);
+    const auto fit = catalog.price_capacity_fit();
+    const auto access = catalog.access_price();
+    std::printf("%-5s %-26s %8.2f  %8.2f  %5.2f  %5zu\n", country.code.c_str(),
+                country.name.c_str(), access ? access->dollars() : -1.0, fit.slope,
+                fit.r, catalog.size());
+  }
+  return 0;
+}
+
+int cmd_generate(const CliOptions& options) {
+  const auto ds = make_dataset(options);
+  const std::filesystem::path dir{options.out};
+  std::filesystem::create_directories(dir);
+  {
+    std::ofstream out{dir / "dasu_users.csv"};
+    dataset::write_user_records(out, ds.dasu);
+  }
+  {
+    std::ofstream out{dir / "fcc_users.csv"};
+    dataset::write_user_records(out, ds.fcc);
+  }
+  {
+    std::ofstream out{dir / "upgrades.csv"};
+    dataset::write_upgrades(out, ds.upgrades);
+  }
+  {
+    std::vector<market::ServicePlan> plans;
+    for (const auto& [code, snap] : ds.markets) {
+      plans.insert(plans.end(), snap.catalog.plans().begin(), snap.catalog.plans().end());
+    }
+    std::ofstream out{dir / "plans.csv"};
+    dataset::write_plans(out, plans);
+  }
+  std::cout << "wrote " << ds.dasu.size() << " + " << ds.fcc.size() << " user records, "
+            << ds.upgrades.size() << " upgrade pairs to " << dir << "/\n";
+  return 0;
+}
+
+int cmd_experiment(const CliOptions& options) {
+  if (options.positional.empty()) return usage();
+  const std::string which = options.positional.front();
+  const auto ds = make_dataset(options);
+  auto& out = std::cout;
+
+  if (which == "tab1") {
+    const auto tab = analysis::tab1_upgrade_experiment(ds);
+    analysis::print_experiment(out, tab.average);
+    analysis::print_experiment(out, tab.peak);
+  } else if (which == "tab2") {
+    const auto tab = analysis::tab2_capacity_matching(ds);
+    for (const auto& row : tab.dasu) analysis::print_experiment(out, row.result);
+    for (const auto& row : tab.fcc) analysis::print_experiment(out, row.result);
+  } else if (which == "tab3") {
+    const auto tab = analysis::tab3_price_experiment(ds);
+    analysis::print_experiment(out, tab.mid);
+    analysis::print_experiment(out, tab.high);
+  } else if (which == "tab5") {
+    for (const auto& row : analysis::tab5_region_costs(ds)) {
+      std::printf("%-28s n=%zu  >$1 %5.1f%%  >$5 %5.1f%%  >$10 %5.1f%%\n",
+                  market::region_label(row.region).c_str(), row.countries,
+                  row.pct_above_1, row.pct_above_5, row.pct_above_10);
+    }
+  } else if (which == "tab6") {
+    const auto tab = analysis::tab6_upgrade_cost_experiment(ds);
+    analysis::print_experiment(out, tab.with_bt_mid);
+    analysis::print_experiment(out, tab.with_bt_high);
+    analysis::print_experiment(out, tab.no_bt_mid);
+    analysis::print_experiment(out, tab.no_bt_high);
+  } else if (which == "tab7") {
+    const auto tab = analysis::tab7_latency_experiment(ds);
+    for (const auto& row : tab.rows) analysis::print_experiment(out, row.result);
+    analysis::print_experiment(out, tab.us_vs_india);
+  } else if (which == "tab8") {
+    for (const auto& row : analysis::tab8_loss_experiment(ds)) {
+      analysis::print_experiment(out, row.result);
+    }
+  } else {
+    return usage();
+  }
+  return 0;
+}
+
+int cmd_figure(const CliOptions& options) {
+  if (options.positional.empty()) return usage();
+  const std::string which = options.positional.front();
+  const auto ds = make_dataset(options);
+  auto& out = std::cout;
+
+  if (which == "fig1") {
+    const auto fig = analysis::fig1_characteristics(ds);
+    analysis::print_ecdf(out, "capacity [Mbps]", fig.capacity_mbps);
+    analysis::print_ecdf(out, "latency [ms]", fig.latency_ms);
+    analysis::print_ecdf(out, "loss [%]", fig.loss_pct);
+  } else if (which == "fig2") {
+    const auto fig = analysis::fig2_capacity_vs_usage(ds);
+    analysis::print_series(out, "mean w/ BT", fig.mean_bt);
+    analysis::print_series(out, "p95 w/ BT", fig.peak_bt);
+    analysis::print_series(out, "mean no BT", fig.mean_nobt);
+    analysis::print_series(out, "p95 no BT", fig.peak_nobt);
+  } else if (which == "fig6") {
+    const auto fig = analysis::fig6_longitudinal(ds);
+    for (const auto& [year, series] : fig.peak_nobt) {
+      analysis::print_series(out, "p95 no BT " + std::to_string(year), series);
+    }
+  } else if (which == "fig10") {
+    const auto fig = analysis::fig10_upgrade_cost_cdf(ds);
+    analysis::print_ecdf(out, "$/Mbps across markets", fig.upgrade_cost);
+    out << "  r>0.8: " << analysis::pct(fig.share_strong_corr)
+        << ", r>0.4: " << analysis::pct(fig.share_moderate_corr) << "\n";
+  } else {
+    return usage();
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  set_log_level(LogLevel::kWarn);
+  CliOptions options;
+  if (!parse(argc, argv, options)) return usage();
+
+  const std::string command = argv[1];
+  try {
+    if (command == "markets") return cmd_markets(options);
+    if (command == "generate") return cmd_generate(options);
+    if (command == "experiment") return cmd_experiment(options);
+    if (command == "figure") return cmd_figure(options);
+    if (command == "scorecard") {
+      const auto ds = make_dataset(options);
+      const auto card = analysis::run_scorecard(ds);
+      if (options.markdown) {
+        std::cout << card.to_markdown();
+      } else {
+        card.print(std::cout);
+      }
+      return card.pass_rate() >= 0.7 ? 0 : 1;
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return usage();
+}

@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Run every reproduction harness binary in a stable order, tee-ing the
+# combined output. Usage: tools/run_all_benches.sh [output-file]
+set -u
+out="${1:-bench_output.txt}"
+: > "$out"
+for b in build/bench/*; do
+  [ -x "$b" ] || continue
+  echo "### $b" | tee -a "$out"
+  "$b" 2>>/tmp/bblab_bench_stderr.log | tee -a "$out"
+done
+echo "wrote $out"
