@@ -5,6 +5,8 @@
 // Scale can be adjusted without recompiling:
 //   BBLAB_SCALE=0.5  population scale (default 0.25 ~ 3000 Dasu users)
 //   BBLAB_DAYS=2     observation window days (default 1.5)
+//   BBLAB_THREADS=4  simulation worker threads (default 0 = all cores);
+//                    the dataset is identical for every value
 #pragma once
 
 #include <cstdio>
@@ -29,6 +31,7 @@ inline double env_or(const char* name, double fallback) {
 inline dataset::StudyConfig bench_config() {
   dataset::StudyConfig config;
   config.seed = 2014;
+  config.threads = static_cast<std::size_t>(env_or("BBLAB_THREADS", 0.0));
   config.population_scale = env_or("BBLAB_SCALE", 0.25);
   config.window_days = env_or("BBLAB_DAYS", 1.5);
   config.fcc_users = 900;

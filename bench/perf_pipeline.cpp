@@ -5,7 +5,9 @@
 
 #include "causal/matching.h"
 #include "core/rng.h"
+#include "core/thread_pool.h"
 #include "market/catalog.h"
+#include "measurement/pipeline.h"
 #include "netsim/fluid.h"
 #include "netsim/workload.h"
 #include "stats/binomial.h"
@@ -64,19 +66,21 @@ void BM_WorkloadGeneration(benchmark::State& state) {
 }
 BENCHMARK(BM_WorkloadGeneration);
 
-void BM_CaliperMatching(benchmark::State& state) {
-  Rng rng{3};
-  const auto n = static_cast<std::size_t>(state.range(0));
-  std::vector<causal::Unit> treated(n);
-  std::vector<causal::Unit> control(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    treated[i].outcome = rng.uniform();
-    treated[i].covariates = {rng.lognormal(3, 0.8), rng.lognormal(0, 1),
-                             rng.uniform(10, 100)};
-    control[i].outcome = rng.uniform();
-    control[i].covariates = {rng.lognormal(3, 0.8), rng.lognormal(0, 1),
-                             rng.uniform(10, 100)};
+std::vector<causal::Unit> matching_units(std::size_t n, std::uint64_t salt) {
+  Rng rng{salt};
+  std::vector<causal::Unit> units(n);
+  for (auto& u : units) {
+    u.outcome = rng.uniform();
+    u.covariates = {rng.lognormal(3, 0.8), rng.lognormal(0, 1),
+                    rng.uniform(10, 100)};
   }
+  return units;
+}
+
+void BM_CaliperMatching(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto treated = matching_units(n, 3);
+  const auto control = matching_units(n, 4);
   const causal::CaliperMatcher matcher;
   for (auto _ : state) {
     benchmark::DoNotOptimize(matcher.match(treated, control));
@@ -84,6 +88,62 @@ void BM_CaliperMatching(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_CaliperMatching)->Arg(100)->Arg(400)->Arg(1600);
+
+void BM_CaliperMatchingPooled(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto treated = matching_units(n, 3);
+  const auto control = matching_units(n, 4);
+  const causal::CaliperMatcher matcher;
+  core::ThreadPool pool{static_cast<std::size_t>(state.range(1))};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(matcher.match(treated, control, &pool));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_CaliperMatchingPooled)
+    ->Args({1600, 1})
+    ->Args({1600, 4})
+    ->Args({1600, 8})
+    ->UseRealTime();
+
+void BM_ParallelPipeline(benchmark::State& state) {
+  const SimClock clock{2011};
+  const netsim::DiurnalModel diurnal{netsim::DiurnalParams{}, clock};
+  const netsim::WorkloadGenerator workload{diurnal};
+  const measurement::DasuCollector dasu{measurement::DasuCollectorParams{},
+                                        diurnal};
+  const measurement::GatewayCollector gateway{};
+  measurement::PipelineToolkit kit;
+  kit.workload = &workload;
+  kit.dasu = &dasu;
+  kit.gateway = &gateway;
+
+  Rng rng{11};
+  std::vector<measurement::HouseholdTask> tasks(64);
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    auto& t = tasks[i];
+    t.link.down = Rate::from_mbps(rng.uniform(2.0, 60.0));
+    t.link.up = Rate::from_mbps(rng.uniform(0.5, 6.0));
+    t.link.rtt_ms = rng.uniform(15.0, 250.0);
+    t.link.loss = rng.uniform(0.0, 0.005);
+    t.workload.intensity = rng.uniform(0.5, 1.5);
+    t.workload.bt_sessions_per_day = i % 4 == 0 ? 1.0 : 0.0;
+    t.bins = 2880;  // one day at 30 s
+    t.collector = i % 3 == 0 ? measurement::CollectorKind::kGateway
+                             : measurement::CollectorKind::kDasu;
+    t.stream_id = i;
+  }
+
+  const Rng base{2014};
+  core::ThreadPool pool{static_cast<std::size_t>(state.range(0))};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        measurement::parallel_simulate_households(kit, tasks, base, pool));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(tasks.size()));
+}
+BENCHMARK(BM_ParallelPipeline)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
 
 void BM_BinomialTestExact(benchmark::State& state) {
   const auto trials = static_cast<std::uint64_t>(state.range(0));

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <numeric>
 
 #include "core/error.h"
 
@@ -31,16 +32,71 @@ double covariate_distance(std::span<const double> a, std::span<const double> b) 
 }
 
 std::vector<MatchedPair> CaliperMatcher::match(std::span<const Unit> treated,
-                                               std::span<const Unit> control) const {
-  std::vector<MatchedPair> feasible;
-  for (std::size_t t = 0; t < treated.size(); ++t) {
-    for (std::size_t c = 0; c < control.size(); ++c) {
-      if (!within_caliper(treated[t].covariates, control[c].covariates, options_)) {
-        continue;
-      }
-      feasible.push_back(
-          {t, c, covariate_distance(treated[t].covariates, control[c].covariates)});
+                                               std::span<const Unit> control,
+                                               core::ThreadPool* pool) const {
+  if (treated.empty() || control.empty()) return {};
+
+  // Controls sorted by first covariate. For a treated value a, any
+  // feasible control c satisfies |a - c0| <= k*max(|a|,|c0|) + s, which
+  // (for k < 1, via |c0| <= |a| + |a - c0|) implies
+  // |a - c0| <= (k*|a| + s) / (1 - k): a contiguous band in the sorted
+  // order. The band is a superset of the feasible set — the exact
+  // per-covariate caliper check still runs on every candidate in it.
+  const std::size_t dim = treated.front().covariates.size();
+  const bool band_prune = dim > 0 && options_.caliper < 1.0;
+  std::vector<std::size_t> by_cov0(control.size());
+  std::iota(by_cov0.begin(), by_cov0.end(), std::size_t{0});
+  std::vector<double> keys;
+  if (band_prune) {
+    for (const auto& u : control) {
+      require(u.covariates.size() == dim, "match: covariate dimension mismatch");
     }
+    std::sort(by_cov0.begin(), by_cov0.end(), [&](std::size_t a, std::size_t b) {
+      return control[a].covariates[0] < control[b].covariates[0];
+    });
+    keys.reserve(control.size());
+    for (const std::size_t c : by_cov0) keys.push_back(control[c].covariates[0]);
+  }
+
+  // Per-treated feasible pairs: each treated unit scans only its band,
+  // writing to its own slot — safe to shard across the pool, and the
+  // concatenation order (treated-major) matches brute-force enumeration.
+  std::vector<std::vector<MatchedPair>> per_treated(treated.size());
+  const auto scan_treated = [&](std::size_t begin, std::size_t end) {
+    for (std::size_t t = begin; t < end; ++t) {
+      const auto& cov_t = treated[t].covariates;
+      std::size_t band_lo = 0;
+      std::size_t band_hi = control.size();
+      if (band_prune) {
+        const double a0 = cov_t[0];
+        const double radius =
+            (options_.caliper * std::fabs(a0) + options_.slack_for(0)) /
+            (1.0 - options_.caliper);
+        band_lo = static_cast<std::size_t>(
+            std::lower_bound(keys.begin(), keys.end(), a0 - radius) - keys.begin());
+        band_hi = static_cast<std::size_t>(
+            std::upper_bound(keys.begin(), keys.end(), a0 + radius) - keys.begin());
+      }
+      auto& out = per_treated[t];
+      for (std::size_t i = band_lo; i < band_hi; ++i) {
+        const std::size_t c = by_cov0[i];
+        if (!within_caliper(cov_t, control[c].covariates, options_)) continue;
+        out.push_back({t, c, covariate_distance(cov_t, control[c].covariates)});
+      }
+    }
+  };
+  if (pool != nullptr && treated.size() > 1) {
+    core::parallel_for(*pool, treated.size(), scan_treated);
+  } else {
+    scan_treated(0, treated.size());
+  }
+
+  std::size_t n_feasible = 0;
+  for (const auto& v : per_treated) n_feasible += v.size();
+  std::vector<MatchedPair> feasible;
+  feasible.reserve(n_feasible);
+  for (auto& v : per_treated) {
+    feasible.insert(feasible.end(), v.begin(), v.end());
   }
   std::sort(feasible.begin(), feasible.end(),
             [](const MatchedPair& a, const MatchedPair& b) {

@@ -13,6 +13,8 @@
 #include <span>
 #include <vector>
 
+#include "core/thread_pool.h"
+
 namespace bblab::causal {
 
 /// One observational unit: an outcome plus the covariates that must be
@@ -60,10 +62,19 @@ class CaliperMatcher {
  public:
   explicit CaliperMatcher(MatcherOptions options = {}) : options_{options} {}
 
-  /// Greedy one-to-one matching: enumerate all caliper-feasible pairs,
+  /// Greedy one-to-one matching: collect the caliper-feasible pairs,
   /// sort by distance, take pairs whose endpoints are still free.
+  ///
+  /// Instead of scanning all T x C combinations, controls are sorted by
+  /// their first covariate once and each treated unit only examines the
+  /// band of controls whose first covariate could possibly satisfy the
+  /// caliper (a conservative superset — the exact per-covariate check
+  /// still runs inside the band), so the matched pairs are identical to
+  /// the brute-force enumeration. Pass a pool to spread the per-treated
+  /// band scans across threads; the result does not depend on it.
   [[nodiscard]] std::vector<MatchedPair> match(std::span<const Unit> treated,
-                                               std::span<const Unit> control) const;
+                                               std::span<const Unit> control,
+                                               core::ThreadPool* pool = nullptr) const;
 
   [[nodiscard]] const MatcherOptions& options() const { return options_; }
 

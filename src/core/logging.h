@@ -1,9 +1,10 @@
 // Minimal leveled logger.
 //
 // The analysis binaries narrate long-running generation/matching phases;
-// tests want silence. A single process-wide level keeps this simple — the
-// library has no concurrent logging producers (simulation is
-// single-threaded by design for determinism).
+// tests want silence. The level is a process-wide atomic and each message
+// is emitted by a single fprintf call, so worker threads from
+// core::ThreadPool may log concurrently without interleaving within a
+// line.
 #pragma once
 
 #include <sstream>

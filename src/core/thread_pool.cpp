@@ -1,0 +1,110 @@
+#include "core/thread_pool.h"
+
+#include <algorithm>
+#include <exception>
+
+namespace bblab::core {
+
+std::size_t ThreadPool::hardware_threads() {
+  return std::max<std::size_t>(1, std::thread::hardware_concurrency());
+}
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) threads = hardware_threads();
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock{mutex_};
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    const std::lock_guard<std::mutex> lock{mutex_};
+    tasks_.push(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock{mutex_};
+      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // stop_ set and queue drained
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+namespace {
+
+/// Completion latch + first-exception capture shared by one parallel_for.
+struct ForState {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::size_t pending{0};
+  std::exception_ptr error;
+
+  void finish(std::exception_ptr e) {
+    const std::lock_guard<std::mutex> lock{mutex};
+    if (e && !error) error = e;
+    --pending;
+    if (pending == 0) cv.notify_all();
+  }
+};
+
+void run_block(ForState& state, std::size_t begin, std::size_t end,
+               const std::function<void(std::size_t, std::size_t)>& body) {
+  std::exception_ptr e;
+  try {
+    body(begin, end);
+  } catch (...) {
+    e = std::current_exception();
+  }
+  state.finish(e);
+}
+
+}  // namespace
+
+void parallel_for(ThreadPool& pool, std::size_t n,
+                  const std::function<void(std::size_t, std::size_t)>& body) {
+  if (n == 0) return;
+  const std::size_t blocks = std::min(std::max<std::size_t>(1, pool.size()), n);
+  if (blocks == 1) {
+    body(0, n);
+    return;
+  }
+  const std::size_t base = n / blocks;
+  const std::size_t extra = n % blocks;  // first `extra` blocks get one more
+  const auto block_begin = [&](std::size_t b) {
+    return b * base + std::min(b, extra);
+  };
+
+  ForState state;
+  state.pending = blocks;
+  for (std::size_t b = 1; b < blocks; ++b) {
+    pool.submit([&state, &body, begin = block_begin(b), end = block_begin(b + 1)] {
+      run_block(state, begin, end, body);
+    });
+  }
+  run_block(state, block_begin(0), block_begin(1), body);
+  {
+    std::unique_lock<std::mutex> lock{state.mutex};
+    state.cv.wait(lock, [&state] { return state.pending == 0; });
+  }
+  if (state.error) std::rethrow_exception(state.error);
+}
+
+}  // namespace bblab::core

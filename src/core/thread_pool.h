@@ -1,0 +1,60 @@
+// Minimal fixed-size thread pool and deterministic parallel_for.
+//
+// The simulation/analysis engine fans out per-household work across
+// threads. Determinism is preserved by construction, not by locking
+// discipline: every parallel task writes only to its own pre-allocated
+// output slot, draws randomness only from an Rng substream forked by a
+// stable stream id (Rng::fork), and results are merged in index order.
+// The pool itself is deliberately simple — a mutex-protected task queue,
+// no work stealing — because household simulation tasks are coarse
+// (milliseconds each) and queue contention is negligible at that grain.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace bblab::core {
+
+class ThreadPool {
+ public:
+  /// Spawn `threads` workers; 0 means one per hardware thread.
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const { return workers_.size(); }
+
+  /// Enqueue a task for any worker. Tasks must not block on other tasks.
+  void submit(std::function<void()> task);
+
+  /// std::thread::hardware_concurrency with a floor of 1.
+  [[nodiscard]] static std::size_t hardware_threads();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_{false};
+};
+
+/// Run `body(begin, end)` over a static partition of [0, n) into one
+/// contiguous block per worker, blocking until every block finished.
+/// The partition is a pure function of (n, pool.size()) and blocks only
+/// ever touch disjoint index ranges, so results are independent of
+/// scheduling. The calling thread executes the first block itself. The
+/// first exception thrown by any block is rethrown here after all blocks
+/// have settled.
+void parallel_for(ThreadPool& pool, std::size_t n,
+                  const std::function<void(std::size_t, std::size_t)>& body);
+
+}  // namespace bblab::core

@@ -4,9 +4,13 @@
 #include <cmath>
 #include <limits>
 
+#include <optional>
+
 #include "behavior/caps.h"
 #include "core/error.h"
 #include "core/logging.h"
+#include "core/thread_pool.h"
+#include "measurement/pipeline.h"
 #include "netsim/fluid.h"
 
 namespace bblab::dataset {
@@ -92,6 +96,16 @@ struct Toolkit {
         diurnal{netsim::DiurnalParams{}, clock},
         workload{diurnal, tcp},
         dasu_collector{measurement::DasuCollectorParams{}, diurnal} {}
+
+  /// View of the toolkit as the parallel pipeline's shared components.
+  [[nodiscard]] measurement::PipelineToolkit pipeline() const {
+    measurement::PipelineToolkit p;
+    p.workload = &workload;
+    p.dasu = &dasu_collector;
+    p.gateway = &gateway;
+    p.tcp = tcp;
+    return p;
+  }
 };
 
 /// Simulate one observation window and summarize it through a collector.
@@ -100,17 +114,25 @@ measurement::UsageSummary observe(const Toolkit& kit, const StudyConfig& config,
                                   const netsim::WorkloadParams& wp, SimTime t0,
                                   double window_days, double bin_s, bool gateway,
                                   Rng& rng) {
-  const auto bins =
-      static_cast<std::size_t>(std::round(window_days * kDay / bin_s));
-  const SimTime t1 = t0 + static_cast<double>(bins) * bin_s;
-  const auto flows = kit.workload.generate(wp, link, t0, t1, rng);
-  const netsim::FluidLinkSimulator sim{link, kit.tcp};
-  const auto truth = sim.run(flows, t0, bins, bin_s);
-  const auto series = gateway ? kit.gateway.collect(truth)
-                              : kit.dasu_collector.collect(truth, wp.phase_shift_hours, rng);
+  measurement::HouseholdTask task;
+  task.workload = wp;
+  task.link = link;
+  task.t0 = t0;
+  task.bins = static_cast<std::size_t>(std::round(window_days * kDay / bin_s));
+  task.bin_width_s = bin_s;
+  task.collector = gateway ? measurement::CollectorKind::kGateway
+                           : measurement::CollectorKind::kDasu;
   (void)config;
-  return measurement::summarize(series);
+  return measurement::simulate_household(kit.pipeline(), task, rng).summary;
 }
+
+/// What one simulated household contributes to the dataset. Slots are
+/// filled independently (one per user id) and merged in id order, so the
+/// dataset is identical whatever the thread count.
+struct UserOutcome {
+  std::optional<UserRecord> record;
+  std::optional<UpgradeObservation> upgrade;
+};
 
 }  // namespace
 
@@ -146,6 +168,8 @@ StudyDataset StudyGenerator::generate() const {
   ds.markets = build_markets(root);
 
   Toolkit kit{config_.first_year};
+  core::ThreadPool pool{config_.threads};
+  log_debug("simulating households on ", pool.size(), " threads");
   behavior::DemandModelParams demand_params;
   demand_params.capacity_effect = !config_.disable_capacity_effect;
   demand_params.pressure_effect = !config_.disable_pressure_effect;
@@ -174,14 +198,20 @@ StudyDataset StudyGenerator::generate() const {
           config_.annual_need_growth,
           static_cast<double>(yi) - static_cast<double>(years - 1) / 2.0);
 
-      for (std::size_t u = 0; u < n_users; ++u) {
-        Rng rng = country_rng.fork(next_user_id);
-        const std::uint64_t user_id = next_user_id++;
+      // Each household depends only on its forked RNG substream (keyed
+      // by user id) and read-only market/toolkit state, so the per-user
+      // bodies shard freely across the pool; outcomes land in id-order
+      // slots and are appended below in that order.
+      const std::uint64_t base_id = next_user_id;
+      next_user_id += n_users;
+      const auto simulate_user = [&](std::uint64_t user_id) -> UserOutcome {
+        UserOutcome out;
+        Rng rng = country_rng.fork(user_id);
 
         const Archetype archetype = ArchetypeMix::dasu().sample(rng);
         Household household = sample_household(country, rng, need_scale);
         const auto plan_opt = snap.choice.choose(household, snap.catalog);
-        if (!plan_opt) continue;
+        if (!plan_opt) return out;
         const ServicePlan plan = *plan_opt;
         const AccessLink link = make_link(country, plan, rng);
 
@@ -230,7 +260,7 @@ StudyDataset StudyGenerator::generate() const {
         rec.true_need_mbps = household.need_mbps;
         rec.archetype = archetype;
         rec.bt_user = ctx.bt_user;
-        ds.dasu.push_back(std::move(rec));
+        out.record = std::move(rec);
 
         // Upgrade follow-up: evolve this household one year forward and,
         // if it switched to a faster plan, observe it again on the new
@@ -305,9 +335,21 @@ StudyDataset StudyGenerator::generate() const {
             obs.after = observe(kit, config_, new_link, after_wp, t_after,
                                 config_.window_days, config_.dasu_bin_s,
                                 /*gateway=*/false, rng);
-            ds.upgrades.push_back(std::move(obs));
+            out.upgrade = std::move(obs);
           }
         }
+        return out;
+      };
+
+      std::vector<UserOutcome> outcomes(n_users);
+      core::parallel_for(pool, n_users, [&](std::size_t begin, std::size_t end) {
+        for (std::size_t u = begin; u < end; ++u) {
+          outcomes[u] = simulate_user(base_id + u);
+        }
+      });
+      for (auto& out : outcomes) {
+        if (out.record) ds.dasu.push_back(std::move(*out.record));
+        if (out.upgrade) ds.upgrades.push_back(std::move(*out.upgrade));
       }
       log_debug("generated ", country.code, " year ", year, ": ", n_users, " users");
     }
@@ -324,13 +366,15 @@ StudyDataset StudyGenerator::generate() const {
       const double need_scale = std::pow(
           config_.annual_need_growth,
           static_cast<double>(yi) - static_cast<double>(years - 1) / 2.0);
-      for (std::size_t u = 0; u < per_year; ++u) {
-        Rng rng = fcc_rng.fork(next_user_id);
-        const std::uint64_t user_id = next_user_id++;
+      const std::uint64_t base_id = next_user_id;
+      next_user_id += per_year;
+      const auto simulate_user = [&](std::uint64_t user_id) -> UserOutcome {
+        UserOutcome out;
+        Rng rng = fcc_rng.fork(user_id);
         const Archetype archetype = ArchetypeMix::fcc().sample(rng);
         Household household = sample_household(us, rng, need_scale);
         const auto plan_opt = snap.choice.choose(household, snap.catalog);
-        if (!plan_opt) continue;
+        if (!plan_opt) return out;
         const ServicePlan plan = *plan_opt;
         const AccessLink link = make_link(us, plan, rng);
 
@@ -373,7 +417,18 @@ StudyDataset StudyGenerator::generate() const {
         rec.true_need_mbps = household.need_mbps;
         rec.archetype = archetype;
         rec.bt_user = ctx.bt_user;
-        ds.fcc.push_back(std::move(rec));
+        out.record = std::move(rec);
+        return out;
+      };
+
+      std::vector<UserOutcome> outcomes(per_year);
+      core::parallel_for(pool, per_year, [&](std::size_t begin, std::size_t end) {
+        for (std::size_t u = begin; u < end; ++u) {
+          outcomes[u] = simulate_user(base_id + u);
+        }
+      });
+      for (auto& out : outcomes) {
+        if (out.record) ds.fcc.push_back(std::move(*out.record));
       }
     }
   }

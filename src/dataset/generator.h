@@ -40,6 +40,10 @@ struct MarketSnapshot {
 
 struct StudyConfig {
   std::uint64_t seed{42};
+  /// Worker threads for per-household simulation (0 = one per hardware
+  /// thread). The dataset is bit-identical for every value: households
+  /// draw from per-user RNG substreams and results merge in user order.
+  std::size_t threads{0};
   /// Scales every country's vantage-point count (1.0 ~ 12k Dasu users).
   double population_scale{1.0};
   /// Observation window per user-year.

@@ -1,0 +1,42 @@
+#include "measurement/pipeline.h"
+
+#include "core/error.h"
+
+namespace bblab::measurement {
+
+HouseholdResult simulate_household(const PipelineToolkit& kit,
+                                   const HouseholdTask& task, Rng& rng) {
+  require(kit.workload != nullptr, "simulate_household: workload generator required");
+  require(task.bins > 0, "simulate_household: need at least one bin");
+  const SimTime t1 = task.t0 + static_cast<double>(task.bins) * task.bin_width_s;
+
+  HouseholdResult result;
+  const auto flows = kit.workload->generate(task.workload, task.link, task.t0, t1, rng);
+  const netsim::FluidLinkSimulator sim{task.link, kit.tcp, kit.fluid};
+  result.truth = sim.run(flows, task.t0, task.bins, task.bin_width_s);
+  if (task.collector == CollectorKind::kGateway) {
+    require(kit.gateway != nullptr, "simulate_household: gateway collector required");
+    result.series = kit.gateway->collect(result.truth);
+  } else {
+    require(kit.dasu != nullptr, "simulate_household: dasu collector required");
+    result.series =
+        kit.dasu->collect(result.truth, task.workload.phase_shift_hours, rng);
+  }
+  result.summary = summarize(result.series);
+  return result;
+}
+
+std::vector<HouseholdResult> parallel_simulate_households(
+    const PipelineToolkit& kit, std::span<const HouseholdTask> tasks,
+    const Rng& base, core::ThreadPool& pool) {
+  std::vector<HouseholdResult> results(tasks.size());
+  core::parallel_for(pool, tasks.size(), [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      Rng rng = base.fork(tasks[i].stream_id);
+      results[i] = simulate_household(kit, tasks[i], rng);
+    }
+  });
+  return results;
+}
+
+}  // namespace bblab::measurement

@@ -147,11 +147,14 @@ BinnedUsage FluidLinkSimulator::run(std::span<const Flow> flows, SimTime window_
         af.end_time = kInf;
       } else {
         af.remaining_bytes = kInf;
+        // A duration-bound session whose end has already passed (it
+        // started before the window, or an idle fast-forward jumped over
+        // it) must not enter the active set — it would steal water-fill
+        // share from live flows for one step.
         af.end_time = f.start + f.duration_s;
+        if (af.end_time <= now) continue;
       }
-      if (af.end_time > now || af.remaining_bytes > 0) {
-        (f.direction == Direction::kDown ? down_active : up_active).push_back(af);
-      }
+      (f.direction == Direction::kDown ? down_active : up_active).push_back(af);
     }
     // Rates change whenever the active set does; recomputing every step is
     // cheap relative to the event bookkeeping.

@@ -27,21 +27,85 @@ double binomial_pmf(std::uint64_t k, std::uint64_t n, double p) {
 
 namespace {
 
-/// Sum of PMF over [k_lo, k_hi] done in the direction of decreasing mass,
-/// accumulating from the small end for accuracy.
-double pmf_sum(std::uint64_t k_lo, std::uint64_t k_hi, std::uint64_t n, double p) {
-  if (k_lo > k_hi) return 0.0;
-  // Recurrence: pmf(k+1) = pmf(k) * (n-k)/(k+1) * p/(1-p). Start from the
-  // end of the range with smaller mass to minimize rounding.
-  double total = 0.0;
-  double term = binomial_pmf(k_lo, n, p);
+/// log PMF for p strictly inside (0,1).
+double log_pmf(std::uint64_t k, std::uint64_t n, double p) {
+  return log_choose(n, k) + static_cast<double>(k) * std::log(p) +
+         static_cast<double>(n - k) * std::log1p(-p);
+}
+
+/// Terms with log PMF below this underflow to 0 in double; summing at
+/// most n <= 2^63 of them still contributes < 1e-280, far below the
+/// representable result they would be added to.
+constexpr double kLogTiny = -708.0;
+
+/// Sum over [k_lo, k_hi] where the PMF is non-decreasing in k (the range
+/// lies at or below the mode): ascend from the small end so the largest
+/// terms are added last. If the small end underflows, start at the first
+/// representable term (log_pmf is monotone here, so binary search works).
+double sum_ascending(std::uint64_t k_lo, std::uint64_t k_hi, std::uint64_t n,
+                     double p) {
+  std::uint64_t start = k_lo;
+  if (log_pmf(start, n, p) < kLogTiny) {
+    if (log_pmf(k_hi, n, p) < kLogTiny) return 0.0;
+    std::uint64_t lo = k_lo, hi = k_hi;  // first k with a representable term
+    while (lo < hi) {
+      const std::uint64_t mid = lo + (hi - lo) / 2;
+      if (log_pmf(mid, n, p) < kLogTiny) lo = mid + 1; else hi = mid;
+    }
+    start = lo;
+  }
+  // pmf(k+1) = pmf(k) * (n-k)/(k+1) * p/(1-p).
   const double odds = p / (1.0 - p);
-  for (std::uint64_t k = k_lo;; ++k) {
+  double total = 0.0;
+  double term = binomial_pmf(start, n, p);
+  for (std::uint64_t k = start;; ++k) {
     total += term;
     if (k == k_hi) break;
     term *= static_cast<double>(n - k) / static_cast<double>(k + 1) * odds;
   }
   return total;
+}
+
+/// Sum over [k_lo, k_hi] where the PMF is non-increasing in k (the range
+/// lies above the mode): descend from k_hi via the inverse recurrence so
+/// terms are again added smallest-first. If the far end underflows,
+/// start at the last representable term.
+double sum_descending(std::uint64_t k_lo, std::uint64_t k_hi, std::uint64_t n,
+                      double p) {
+  std::uint64_t start = k_hi;
+  if (log_pmf(start, n, p) < kLogTiny) {
+    if (log_pmf(k_lo, n, p) < kLogTiny) return 0.0;
+    std::uint64_t lo = k_lo, hi = k_hi;  // last k with a representable term
+    while (lo < hi) {
+      const std::uint64_t mid = lo + (hi - lo + 1) / 2;
+      if (log_pmf(mid, n, p) < kLogTiny) hi = mid - 1; else lo = mid;
+    }
+    start = lo;
+  }
+  // pmf(k-1) = pmf(k) * k/(n-k+1) * (1-p)/p.
+  const double inv_odds = (1.0 - p) / p;
+  double total = 0.0;
+  double term = binomial_pmf(start, n, p);
+  for (std::uint64_t k = start;; --k) {
+    total += term;
+    if (k == k_lo) break;
+    term *= static_cast<double>(k) / static_cast<double>(n - k + 1) * inv_odds;
+  }
+  return total;
+}
+
+/// Sum of PMF over [k_lo, k_hi], always accumulating in the direction of
+/// increasing mass. The PMF rises up to its mode floor((n+1)p) and falls
+/// after it, so an upper tail is summed descending from k_hi, a lower
+/// tail ascending from k_lo, and a mode-spanning range is split.
+double pmf_sum(std::uint64_t k_lo, std::uint64_t k_hi, std::uint64_t n, double p) {
+  if (k_lo > k_hi) return 0.0;
+  const double m = (static_cast<double>(n) + 1.0) * p;
+  const auto mode = static_cast<std::uint64_t>(
+      std::min(static_cast<double>(n), std::max(0.0, std::floor(m))));
+  if (k_lo > mode) return sum_descending(k_lo, k_hi, n, p);
+  if (k_hi <= mode) return sum_ascending(k_lo, k_hi, n, p);
+  return sum_ascending(k_lo, mode, n, p) + sum_descending(mode + 1, k_hi, n, p);
 }
 
 }  // namespace

@@ -7,33 +7,53 @@
 
 namespace bblab::stats {
 
+namespace {
+
+/// Copy `xs` dropping NaNs (missing upstream observations, e.g. a
+/// household with zero active days), sorted ascending. NaN has no order
+/// under operator< — sorting it is undefined and used to yield garbage
+/// quantiles, so missing values are excluded up front.
+std::vector<double> sorted_finite(std::span<const double> xs) {
+  std::vector<double> copy;
+  copy.reserve(xs.size());
+  for (const double x : xs) {
+    if (!std::isnan(x)) copy.push_back(x);
+  }
+  std::sort(copy.begin(), copy.end());
+  return copy;
+}
+
+}  // namespace
+
 double quantile_sorted(std::span<const double> sorted, double q) {
   require(q >= 0.0 && q <= 1.0, "quantile: q must be in [0,1]");
   if (sorted.empty()) return 0.0;
-  if (sorted.size() == 1) return sorted[0];
+  if (sorted.size() == 1) {
+    require(!std::isnan(sorted[0]),
+            "quantile_sorted: input contains NaN (filter missing values first)");
+    return sorted[0];
+  }
   // R type 7: h = (n-1) q, interpolate between floor(h) and floor(h)+1.
   const double h = static_cast<double>(sorted.size() - 1) * q;
   const auto lo = static_cast<std::size_t>(std::floor(h));
   const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  require(!std::isnan(sorted[lo]) && !std::isnan(sorted[hi]),
+          "quantile_sorted: input contains NaN (filter missing values first)");
   const double frac = h - static_cast<double>(lo);
   return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
 }
 
 double quantile(std::span<const double> xs, double q) {
-  std::vector<double> copy{xs.begin(), xs.end()};
-  std::sort(copy.begin(), copy.end());
-  return quantile_sorted(copy, q);
+  return quantile_sorted(sorted_finite(xs), q);
 }
 
 double iqr(std::span<const double> xs) {
-  std::vector<double> copy{xs.begin(), xs.end()};
-  std::sort(copy.begin(), copy.end());
+  const auto copy = sorted_finite(xs);
   return quantile_sorted(copy, 0.75) - quantile_sorted(copy, 0.25);
 }
 
 std::vector<double> quantiles(std::span<const double> xs, std::span<const double> qs) {
-  std::vector<double> copy{xs.begin(), xs.end()};
-  std::sort(copy.begin(), copy.end());
+  const auto copy = sorted_finite(xs);
   std::vector<double> out;
   out.reserve(qs.size());
   for (const double q : qs) out.push_back(quantile_sorted(copy, q));

@@ -12,20 +12,23 @@
 namespace bblab::stats {
 
 /// Quantile q in [0,1] of an UNSORTED sample (copies + sorts internally).
-/// Empty input -> 0.
+/// NaN elements are treated as missing and dropped; empty (or all-NaN)
+/// input -> 0.
 [[nodiscard]] double quantile(std::span<const double> xs, double q);
 
 /// Quantile of an already-sorted (ascending) sample; no allocation.
+/// Throws InvalidArgument if an interpolated element is NaN (NaN cannot
+/// be sorted — filter missing values before calling).
 [[nodiscard]] double quantile_sorted(std::span<const double> sorted, double q);
 
 /// Convenience percentile wrappers.
 [[nodiscard]] inline double median(std::span<const double> xs) { return quantile(xs, 0.5); }
 [[nodiscard]] inline double p95(std::span<const double> xs) { return quantile(xs, 0.95); }
 
-/// Interquartile range (Q3 - Q1).
+/// Interquartile range (Q3 - Q1). NaNs dropped as in quantile().
 [[nodiscard]] double iqr(std::span<const double> xs);
 
-/// Several quantiles in one sort.
+/// Several quantiles in one sort. NaNs dropped as in quantile().
 [[nodiscard]] std::vector<double> quantiles(std::span<const double> xs,
                                             std::span<const double> qs);
 

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
 #include "core/error.h"
@@ -97,6 +98,79 @@ TEST(BinomialTest, ValidatesInputs) {
   EXPECT_THROW(binomial_p_greater(5, 3), InvalidArgument);
   EXPECT_THROW(binomial_p_greater(1, 2, 0.0), InvalidArgument);
   EXPECT_THROW(binomial_p_greater(1, 2, 1.0), InvalidArgument);
+}
+
+// High-precision references for the million-trial regression below: sum
+// per-term long-double PMFs smallest-first so no precision is lost to a
+// large running total.
+long double ref_log_pmf(std::uint64_t k, std::uint64_t n, long double p) {
+  const auto kl = static_cast<long double>(k);
+  const auto nl = static_cast<long double>(n);
+  return std::lgamma(nl + 1.0L) - std::lgamma(kl + 1.0L) -
+         std::lgamma(nl - kl + 1.0L) + kl * std::log(p) +
+         (nl - kl) * std::log1p(-p);
+}
+
+long double ref_p_greater(std::uint64_t k, std::uint64_t n, long double p) {
+  long double total = 0.0L;
+  for (std::uint64_t j = n;; --j) {  // upper tail: smallest terms at j = n
+    total += std::exp(ref_log_pmf(j, n, p));
+    if (j == k) break;
+  }
+  return total;
+}
+
+long double ref_p_less(std::uint64_t k, std::uint64_t n, long double p) {
+  long double total = 0.0L;
+  for (std::uint64_t j = 0; j <= k; ++j) {  // lower tail: smallest at j = 0
+    total += std::exp(ref_log_pmf(j, n, p));
+  }
+  return total;
+}
+
+TEST(BinomialTail, MillionTrialUpperTailMatchesReference) {
+  // Regression: the tail used to be accumulated by ascending-k recurrence
+  // regardless of which side of the mode it lay on, so big-to-small
+  // addition (and an underflowed starting term) corrupted upper tails at
+  // paper scale (n ~ 10^6 FCC samples).
+  const std::uint64_t n = 1000000;
+  for (const std::uint64_t k : {500500ull, 501500ull, 505000ull}) {
+    const long double ref = ref_p_greater(k, n, 0.5L);
+    const double got = binomial_p_greater(k, n);
+    EXPECT_NEAR(got, static_cast<double>(ref),
+                static_cast<double>(ref) * 1e-9)
+        << "k=" << k;
+  }
+}
+
+TEST(BinomialTail, MillionTrialLowerTailIsNonzero) {
+  // Companion latent bug: the ascending sum started at pmf(0), which
+  // underflows to zero for n = 10^6, zeroing the whole lower tail.
+  const std::uint64_t n = 1000000;
+  for (const std::uint64_t k : {499000ull, 498500ull}) {
+    const long double ref = ref_p_less(k, n, 0.5L);
+    const double got = binomial_p_less(k, n);
+    EXPECT_GT(got, 0.0) << "k=" << k;
+    EXPECT_NEAR(got, static_cast<double>(ref),
+                static_cast<double>(ref) * 1e-9)
+        << "k=" << k;
+  }
+}
+
+TEST(BinomialTail, SkewedPSplitsAroundTheMode) {
+  // p far from 0.5 exercises both recurrence directions around the mode.
+  for (const double p0 : {0.02, 0.97}) {
+    const std::uint64_t n = 5000;
+    const auto mode = static_cast<std::uint64_t>((n + 1) * p0);
+    for (const std::uint64_t k :
+         {std::uint64_t{0}, mode / 2 + 1, mode,
+          std::min(n, mode + mode / 2 + 1)}) {
+      const long double ref = ref_p_greater(k, n, p0);
+      EXPECT_NEAR(binomial_p_greater(k, n, p0), static_cast<double>(ref),
+                  static_cast<double>(ref) * 1e-9)
+          << "p0=" << p0 << " k=" << k;
+    }
+  }
 }
 
 // Property sweep: exact tail sum equals brute-force PMF accumulation.

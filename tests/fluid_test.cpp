@@ -200,6 +200,32 @@ TEST(FluidSim, ConservationAcrossBinBoundaries) {
   }
 }
 
+TEST(FluidSim, ExpiredDurationFlowContributesNothing) {
+  // Regression: a duration-bound session that ended before the window
+  // start used to be admitted to the active set anyway, where it stole
+  // water-fill share from live flows until its (past) end event fired.
+  const FluidLinkSimulator sim{clean_link(8.0)};  // 1 MB/s
+  Flow live;
+  live.start = 1000.0;
+  live.app = AppKind::kBulk;
+  live.volume_bytes = 5e6;
+  Flow expired;
+  expired.start = 0.0;
+  expired.app = AppKind::kVideo;
+  expired.duration_s = 100.0;  // ended at t=100, window starts at t=1000
+  expired.rate_cap = Rate::from_mbps(4.0);
+
+  const auto alone = sim.run(std::vector<Flow>{live}, 1000.0, 10, 30.0);
+  const auto mixed = sim.run(std::vector<Flow>{expired, live}, 1000.0, 10, 30.0);
+  // The dead session adds no bytes and must not slow the live transfer:
+  // every bin is bit-identical to the live-flow-alone run.
+  ASSERT_EQ(mixed.bins(), alone.bins());
+  for (std::size_t i = 0; i < alone.bins(); ++i) {
+    EXPECT_DOUBLE_EQ(mixed.down_bytes[i], alone.down_bytes[i]) << i;
+  }
+  EXPECT_NEAR(total(mixed.down_bytes), 5e6, 1e3);
+}
+
 TEST(FluidSim, BufferbloatThrottlesTcpBoundFlowsWhenSaturated) {
   // A swarm saturates the downlink; with bufferbloat enabled, the induced
   // queueing delay inflates every flow's RTT, so a concurrent TCP-bound

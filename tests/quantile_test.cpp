@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <limits>
 #include <vector>
 
 #include "core/error.h"
@@ -52,6 +53,45 @@ TEST(Quantile, BatchMatchesIndividual) {
   for (std::size_t i = 0; i < qs.size(); ++i) {
     EXPECT_DOUBLE_EQ(batch[i], quantile(xs, qs[i]));
   }
+}
+
+TEST(Quantile, NanElementsAreDropped) {
+  // Regression: NaNs used to poison the internal sort (NaN has no
+  // ordering), yielding garbage quantiles instead of ignoring the
+  // missing values.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const std::vector<double> dirty{nan, 5, 1, nan, 9, 3, nan};
+  const std::vector<double> clean{5, 1, 9, 3};
+  for (const double q : {0.0, 0.25, 0.5, 0.95, 1.0}) {
+    EXPECT_DOUBLE_EQ(quantile(dirty, q), quantile(clean, q)) << "q=" << q;
+  }
+  EXPECT_DOUBLE_EQ(iqr(dirty), iqr(clean));
+  const std::vector<double> qs{0.1, 0.5, 0.9};
+  const auto batch_dirty = quantiles(dirty, qs);
+  const auto batch_clean = quantiles(clean, qs);
+  ASSERT_EQ(batch_dirty.size(), batch_clean.size());
+  for (std::size_t i = 0; i < qs.size(); ++i) {
+    EXPECT_DOUBLE_EQ(batch_dirty[i], batch_clean[i]);
+  }
+}
+
+TEST(Quantile, AllNanBehavesLikeEmpty) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const std::vector<double> xs{nan, nan, nan};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(iqr(xs), 0.0);
+}
+
+TEST(QuantileSorted, RejectsNanWithClearError) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  // NaN sorts to the end under operator<; reading it must throw rather
+  // than silently return NaN.
+  const std::vector<double> sorted{1, 2, 3, nan};
+  EXPECT_THROW((void)quantile_sorted(sorted, 1.0), InvalidArgument);
+  // Quantiles that never touch the NaN element still work.
+  EXPECT_DOUBLE_EQ(quantile_sorted(sorted, 0.0), 1.0);
+  const std::vector<double> single{nan};
+  EXPECT_THROW((void)quantile_sorted(single, 0.5), InvalidArgument);
 }
 
 // Property sweep: monotonicity and bounds over random samples.

@@ -1,0 +1,105 @@
+#include "core/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "core/error.h"
+#include "core/rng.h"
+
+namespace bblab::core {
+namespace {
+
+TEST(ThreadPool, SpawnsRequestedWorkers) {
+  ThreadPool pool{3};
+  EXPECT_EQ(pool.size(), 3u);
+  EXPECT_GE(ThreadPool::hardware_threads(), 1u);
+  ThreadPool defaulted;
+  EXPECT_EQ(defaulted.size(), ThreadPool::hardware_threads());
+}
+
+TEST(ThreadPool, SubmittedTasksAllRun) {
+  ThreadPool pool{4};
+  std::atomic<int> count{0};
+  std::atomic<int> done{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&] {
+      count.fetch_add(1);
+      done.fetch_add(1);
+    });
+  }
+  while (done.load() < 100) std::this_thread::yield();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  for (const std::size_t threads : {1u, 2u, 5u}) {
+    ThreadPool pool{threads};
+    std::vector<int> hits(1000, 0);
+    parallel_for(pool, hits.size(), [&](std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) ++hits[i];
+    });
+    EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 1000)
+        << threads << " threads";
+    for (const int h : hits) EXPECT_EQ(h, 1);
+  }
+}
+
+TEST(ParallelFor, HandlesEmptyAndTinyRanges) {
+  ThreadPool pool{4};
+  int calls = 0;
+  parallel_for(pool, 0, [&](std::size_t, std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  std::vector<int> hits(2, 0);
+  parallel_for(pool, 2, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) ++hits[i];
+  });
+  EXPECT_EQ(hits[0], 1);
+  EXPECT_EQ(hits[1], 1);
+}
+
+TEST(ParallelFor, ResultsIndependentOfThreadCount) {
+  // Each slot derives from its own RNG substream; any pool size must
+  // produce the same vector.
+  const Rng base{1234};
+  const auto run = [&](std::size_t threads) {
+    ThreadPool pool{threads};
+    std::vector<double> out(257, 0.0);
+    parallel_for(pool, out.size(), [&](std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) {
+        Rng rng = base.fork(i);
+        out[i] = rng.normal() + rng.exponential(2.0);
+      }
+    });
+    return out;
+  };
+  const auto one = run(1);
+  const auto four = run(4);
+  const auto eight = run(8);
+  ASSERT_EQ(one.size(), four.size());
+  for (std::size_t i = 0; i < one.size(); ++i) {
+    EXPECT_EQ(one[i], four[i]) << i;
+    EXPECT_EQ(one[i], eight[i]) << i;
+  }
+}
+
+TEST(ParallelFor, PropagatesFirstException) {
+  ThreadPool pool{4};
+  EXPECT_THROW(
+      parallel_for(pool, 100,
+                   [&](std::size_t begin, std::size_t) {
+                     if (begin > 0) throw InvalidArgument{"boom"};
+                   }),
+      InvalidArgument);
+  // The pool stays usable after an exception.
+  std::vector<int> hits(8, 0);
+  parallel_for(pool, hits.size(), [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) ++hits[i];
+  });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 8);
+}
+
+}  // namespace
+}  // namespace bblab::core

@@ -33,6 +33,7 @@ using namespace bblab;
 
 struct CliOptions {
   std::uint64_t seed{2014};
+  std::size_t threads{0};
   double scale{0.1};
   double days{1.0};
   std::string out{"bblab_out"};
@@ -49,7 +50,7 @@ int usage() {
          "  experiment <tab1|tab2|tab3|tab5|tab6|tab7|tab8>\n"
          "  figure <fig1|fig2|fig6|fig10>\n"
          "  scorecard [--markdown]       run every paper-claim check\n"
-         "common: --seed N --scale X --days X --placebo\n";
+         "common: --seed N --scale X --days X --threads N --placebo\n";
   return 2;
 }
 
@@ -63,6 +64,10 @@ bool parse(int argc, char** argv, CliOptions& options) {
       const char* v = next();
       if (v == nullptr) return false;
       options.seed = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--threads") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options.threads = static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
     } else if (arg == "--scale") {
       const char* v = next();
       if (v == nullptr) return false;
@@ -92,6 +97,7 @@ bool parse(int argc, char** argv, CliOptions& options) {
 dataset::StudyDataset make_dataset(const CliOptions& options) {
   dataset::StudyConfig config;
   config.seed = options.seed;
+  config.threads = options.threads;
   config.population_scale = options.scale;
   config.window_days = options.days;
   config.placebo = options.placebo;
