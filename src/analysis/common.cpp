@@ -4,18 +4,38 @@
 
 namespace bblab::analysis {
 
+std::vector<RecordPtr> coverage_filter(std::span<const RecordPtr> records,
+                                       const dataset::CoverageRule& rule,
+                                       double bin_s, core::QuarantineReport* qc) {
+  std::vector<RecordPtr> out;
+  out.reserve(records.size());
+  for (const auto* r : records) {
+    if (rule.admits(r->usage, bin_s)) {
+      out.push_back(r);
+      if (qc != nullptr) qc->note_admitted();
+    } else if (qc != nullptr) {
+      qc->add(static_cast<std::size_t>(r->user_id),
+              QuarantineReason::kInsufficientCoverage,
+              "user " + std::to_string(r->user_id),
+              std::to_string(r->usage.samples) + " samples below coverage floor");
+    }
+  }
+  return out;
+}
+
 std::vector<RecordPtr> dasu_records(const dataset::StudyDataset& ds) {
   std::vector<RecordPtr> out;
   out.reserve(ds.dasu.size());
   for (const auto& r : ds.dasu) out.push_back(&r);
-  return out;
+  return coverage_filter(out, ds.config.coverage, ds.config.dasu_bin_s);
 }
 
 std::vector<RecordPtr> fcc_records(const dataset::StudyDataset& ds) {
   std::vector<RecordPtr> out;
   out.reserve(ds.fcc.size());
   for (const auto& r : ds.fcc) out.push_back(&r);
-  return out;
+  // FCC gateways report hourly totals regardless of the Dasu bin width.
+  return coverage_filter(out, ds.config.coverage, 3600.0);
 }
 
 std::vector<RecordPtr> filter(

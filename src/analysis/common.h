@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "causal/matching.h"
+#include "core/quarantine.h"
 #include "dataset/generator.h"
 #include "dataset/user_record.h"
 
@@ -22,7 +23,16 @@ using RecordPtr = const dataset::UserRecord*;
   return with_bt ? r.usage.peak_down.bps() : r.usage.peak_down_no_bt.bps();
 }
 
-/// All Dasu records, optionally restricted to one country / year.
+/// Apply the dataset's coverage rule: keep records with enough observed
+/// samples/days (at `bin_s` seconds per sample), counting the dropped
+/// ones into `qc` (reason insufficient-coverage) when provided.
+[[nodiscard]] std::vector<RecordPtr> coverage_filter(
+    std::span<const RecordPtr> records, const dataset::CoverageRule& rule,
+    double bin_s, core::QuarantineReport* qc = nullptr);
+
+/// All Dasu records, optionally restricted to one country / year. Both
+/// accessors apply the dataset's coverage filter (ds.config.coverage), so
+/// every analysis downstream sees only users the paper would have kept.
 [[nodiscard]] std::vector<RecordPtr> dasu_records(const dataset::StudyDataset& ds);
 [[nodiscard]] std::vector<RecordPtr> fcc_records(const dataset::StudyDataset& ds);
 

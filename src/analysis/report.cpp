@@ -1,5 +1,6 @@
 #include "analysis/report.h"
 
+#include <algorithm>
 #include <array>
 #include <cstdio>
 #include <ostream>
@@ -36,6 +37,37 @@ void print_ecdf(std::ostream& out, const std::string& name, const stats::Ecdf& e
 
 void print_experiment(std::ostream& out, const causal::ExperimentResult& result) {
   out << "  " << result.to_string() << "\n";
+}
+
+void print_quarantine(std::ostream& out, const core::QuarantineReport& report,
+                      std::size_t max_rows) {
+  out << "  QC: " << report.summary() << " (failure rate "
+      << pct(report.failure_rate()) << ")\n";
+  if (report.empty()) return;
+  constexpr std::array<QuarantineReason, 7> kAll{
+      QuarantineReason::kMalformedRow,     QuarantineReason::kWrongFieldCount,
+      QuarantineReason::kBadValue,         QuarantineReason::kDuplicateKey,
+      QuarantineReason::kHouseholdFailure, QuarantineReason::kInjectedFault,
+      QuarantineReason::kInsufficientCoverage};
+  std::array<char, 200> buf{};
+  for (const auto reason : kAll) {
+    const std::size_t n = report.count(reason);
+    if (n == 0) continue;
+    std::snprintf(buf.data(), buf.size(), "    %-22s %zu\n",
+                  quarantine_reason_label(reason), n);
+    out << buf.data();
+  }
+  const std::size_t shown = std::min(max_rows, report.rows.size());
+  for (std::size_t i = 0; i < shown; ++i) {
+    const auto& row = report.rows[i];
+    out << "    [" << row.index << "] " << quarantine_reason_label(row.reason)
+        << ": " << row.detail;
+    if (!row.raw.empty()) out << "  | " << row.raw;
+    out << "\n";
+  }
+  if (report.rows.size() > shown) {
+    out << "    ... " << report.rows.size() - shown << " more\n";
+  }
 }
 
 std::string pct(double fraction, int decimals) {

@@ -5,11 +5,13 @@
 // EXPERIMENTS.md can be assembled by eye or by script.
 #pragma once
 
+#include <cstddef>
 #include <iosfwd>
 #include <string>
 
 #include "analysis/figures.h"
 #include "causal/experiment.h"
+#include "core/quarantine.h"
 #include "stats/ecdf.h"
 
 namespace bblab::analysis {
@@ -30,6 +32,11 @@ void print_ecdf(std::ostream& out, const std::string& name, const stats::Ecdf& e
 
 /// An experiment result as a table row.
 void print_experiment(std::ostream& out, const causal::ExperimentResult& result);
+
+/// A quarantine report as a QC summary table: per-reason counts plus up
+/// to `max_rows` example rows with their raw text and diagnosis.
+void print_quarantine(std::ostream& out, const core::QuarantineReport& report,
+                      std::size_t max_rows = 10);
 
 /// Format helpers.
 [[nodiscard]] std::string pct(double fraction, int decimals = 1);

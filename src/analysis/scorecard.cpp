@@ -6,6 +6,7 @@
 #include <ostream>
 #include <sstream>
 
+#include "analysis/common.h"
 #include "analysis/figures.h"
 #include "analysis/report.h"
 #include "analysis/tables.h"
@@ -65,6 +66,20 @@ Scorecard run_scorecard(const dataset::StudyDataset& ds) {
                        bool pass) {
     card.checks.push_back({std::move(id), std::move(claim), std::move(measured), pass});
   };
+
+  // ---- Data hygiene: quarantine + coverage accounting. ---------------
+  add("qc.quarantine", "dirty inputs filtered, not fatal", ds.qc.summary(),
+      ds.qc.failure_rate() <= ds.config.max_household_failure_rate);
+  {
+    // dasu_records() applies ds.config.coverage, so the difference from
+    // the raw record count is exactly the excluded population.
+    const std::size_t kept = dasu_records(ds).size();
+    const std::size_t dropped = ds.dasu.size() - kept;
+    add("qc.coverage", "low-coverage users excluded from analyses",
+        std::to_string(dropped) + "/" + std::to_string(ds.dasu.size()) +
+            " below coverage floor",
+        dropped * 2 <= ds.dasu.size());
+  }
 
   // ---- Fig. 1: population characteristics. --------------------------
   const auto fig1 = fig1_characteristics(ds);

@@ -31,6 +31,31 @@ class AnalysisError : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+/// Thrown when the deterministic fault-injection layer (src/faults) fires a
+/// planned hard failure. Kept distinct from IoError so quarantine reports
+/// can attribute a failure to the plan rather than to a genuine bug.
+class InjectedFault : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Why a unit (CSV row, simulated household, user record) was excluded from
+/// a lenient run instead of aborting it — the typed taxonomy behind
+/// core::QuarantineReport. The real study's inputs carried every one of
+/// these pathologies (hosts churning out, unparseable rows, counters
+/// resetting, users with too little coverage).
+enum class QuarantineReason {
+  kMalformedRow,          ///< CSV record that cannot be tokenized at all
+  kWrongFieldCount,       ///< parsed, but the wrong number of columns
+  kBadValue,              ///< a field failed numeric/typed conversion
+  kDuplicateKey,          ///< a second row for an already-seen unique key
+  kHouseholdFailure,      ///< a simulated household threw; unit isolated
+  kInjectedFault,         ///< a fault-plan hard failure fired on purpose
+  kInsufficientCoverage,  ///< below the minimum-coverage admission rule
+};
+
+[[nodiscard]] const char* quarantine_reason_label(QuarantineReason reason);
+
 /// Validate a caller-supplied precondition; throws InvalidArgument.
 inline void require(bool condition, const std::string& message) {
   if (!condition) throw InvalidArgument{message};

@@ -1,0 +1,74 @@
+#include "core/quarantine.h"
+
+#include <array>
+#include <sstream>
+
+namespace bblab {
+
+const char* quarantine_reason_label(QuarantineReason reason) {
+  switch (reason) {
+    case QuarantineReason::kMalformedRow: return "malformed-row";
+    case QuarantineReason::kWrongFieldCount: return "wrong-field-count";
+    case QuarantineReason::kBadValue: return "bad-value";
+    case QuarantineReason::kDuplicateKey: return "duplicate-key";
+    case QuarantineReason::kHouseholdFailure: return "household-failure";
+    case QuarantineReason::kInjectedFault: return "injected-fault";
+    case QuarantineReason::kInsufficientCoverage: return "insufficient-coverage";
+  }
+  return "?";
+}
+
+namespace core {
+
+void QuarantineReport::add(std::size_t index, QuarantineReason reason,
+                           std::string raw, std::string detail) {
+  if (raw.size() > kMaxRawBytes) {
+    raw.resize(kMaxRawBytes - 3);
+    raw += "...";
+  }
+  rows.push_back({index, reason, std::move(raw), std::move(detail)});
+}
+
+std::size_t QuarantineReport::count(QuarantineReason reason) const {
+  std::size_t n = 0;
+  for (const auto& row : rows) {
+    if (row.reason == reason) ++n;
+  }
+  return n;
+}
+
+double QuarantineReport::failure_rate() const {
+  return total() > 0 ? static_cast<double>(rows.size()) / static_cast<double>(total())
+                     : 0.0;
+}
+
+void QuarantineReport::merge(const QuarantineReport& other) {
+  rows.insert(rows.end(), other.rows.begin(), other.rows.end());
+  admitted += other.admitted;
+}
+
+std::string QuarantineReport::summary() const {
+  std::ostringstream os;
+  os << rows.size() << "/" << total() << " quarantined";
+  if (rows.empty()) return os.str();
+  // Enumerate reasons in taxonomy order so the summary is deterministic.
+  constexpr std::array<QuarantineReason, 7> kAll{
+      QuarantineReason::kMalformedRow,     QuarantineReason::kWrongFieldCount,
+      QuarantineReason::kBadValue,         QuarantineReason::kDuplicateKey,
+      QuarantineReason::kHouseholdFailure, QuarantineReason::kInjectedFault,
+      QuarantineReason::kInsufficientCoverage};
+  os << " (";
+  bool first = true;
+  for (const auto reason : kAll) {
+    const std::size_t n = count(reason);
+    if (n == 0) continue;
+    if (!first) os << ", ";
+    os << quarantine_reason_label(reason) << ": " << n;
+    first = false;
+  }
+  os << ")";
+  return os.str();
+}
+
+}  // namespace core
+}  // namespace bblab

@@ -1,0 +1,57 @@
+// Quarantine-based degradation accounting.
+//
+// The paper's datasets were dirty — vantage points churned in and out,
+// collectors missed hours, counters reset, rows arrived malformed — and
+// the authors filtered rather than crashed. A QuarantineReport is the
+// ledger of that policy: lenient parsers, the simulation pipeline, and
+// the coverage filters record every excluded unit here (with its index,
+// raw text, and a typed reason from core/error.h) instead of throwing,
+// so a run completes on dirty data and still says exactly what it
+// dropped and why.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/error.h"
+
+namespace bblab::core {
+
+/// One excluded unit. `index` identifies it in the source (CSV row
+/// number, task index, or user id — the producer documents which).
+struct QuarantinedRow {
+  std::size_t index{0};
+  QuarantineReason reason{QuarantineReason::kMalformedRow};
+  std::string raw;     ///< offending raw text, truncated to kMaxRawBytes
+  std::string detail;  ///< human-readable diagnosis (e.g. exception text)
+};
+
+struct QuarantineReport {
+  /// Raw text longer than this is truncated on add() so a corrupt
+  /// multi-megabyte record cannot bloat the report.
+  static constexpr std::size_t kMaxRawBytes = 160;
+
+  std::vector<QuarantinedRow> rows;
+  std::size_t admitted{0};
+
+  void add(std::size_t index, QuarantineReason reason, std::string raw,
+           std::string detail);
+  void note_admitted(std::size_t n = 1) { admitted += n; }
+
+  [[nodiscard]] bool empty() const { return rows.empty(); }
+  [[nodiscard]] std::size_t quarantined() const { return rows.size(); }
+  [[nodiscard]] std::size_t total() const { return admitted + rows.size(); }
+  [[nodiscard]] std::size_t count(QuarantineReason reason) const;
+  /// quarantined / (admitted + quarantined); 0 when nothing was seen.
+  [[nodiscard]] double failure_rate() const;
+
+  /// Append another report's rows and admitted count (indices are kept
+  /// as-is; merge order is the caller's responsibility for determinism).
+  void merge(const QuarantineReport& other);
+
+  /// One line, e.g. "3/120 quarantined (malformed-row: 2, bad-value: 1)".
+  [[nodiscard]] std::string summary() const;
+};
+
+}  // namespace bblab::core

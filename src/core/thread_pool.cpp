@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <exception>
 
+#include "core/logging.h"
+
 namespace bblab::core {
 
 std::size_t ThreadPool::hardware_threads() {
@@ -51,15 +53,24 @@ void ThreadPool::worker_loop() {
 namespace {
 
 /// Completion latch + first-exception capture shared by one parallel_for.
+/// Later exceptions cannot all be rethrown, but they must not vanish
+/// silently either: they are counted and logged before the rethrow.
 struct ForState {
   std::mutex mutex;
   std::condition_variable cv;
   std::size_t pending{0};
   std::exception_ptr error;
+  std::size_t suppressed{0};
 
   void finish(std::exception_ptr e) {
     const std::lock_guard<std::mutex> lock{mutex};
-    if (e && !error) error = e;
+    if (e) {
+      if (!error) {
+        error = e;
+      } else {
+        ++suppressed;
+      }
+    }
     --pending;
     if (pending == 0) cv.notify_all();
   }
@@ -104,7 +115,13 @@ void parallel_for(ThreadPool& pool, std::size_t n,
     std::unique_lock<std::mutex> lock{state.mutex};
     state.cv.wait(lock, [&state] { return state.pending == 0; });
   }
-  if (state.error) std::rethrow_exception(state.error);
+  if (state.error) {
+    if (state.suppressed > 0) {
+      log_warn("parallel_for: ", state.suppressed,
+               " additional exception(s) suppressed; rethrowing the first");
+    }
+    std::rethrow_exception(state.error);
+  }
 }
 
 }  // namespace bblab::core

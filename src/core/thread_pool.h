@@ -53,7 +53,8 @@ class ThreadPool {
 /// ever touch disjoint index ranges, so results are independent of
 /// scheduling. The calling thread executes the first block itself. The
 /// first exception thrown by any block is rethrown here after all blocks
-/// have settled.
+/// have settled; any further exceptions are counted and logged (WARN via
+/// core/logging) before the rethrow, never silently swallowed.
 void parallel_for(ThreadPool& pool, std::size_t n,
                   const std::function<void(std::size_t, std::size_t)>& body);
 

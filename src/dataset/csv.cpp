@@ -2,8 +2,11 @@
 
 #include <cmath>
 #include <charconv>
+#include <cstdint>
 #include <ostream>
+#include <set>
 #include <sstream>
+#include <utility>
 
 #include "core/error.h"
 
@@ -64,31 +67,64 @@ void CsvWriter::row(const std::vector<std::string>& fields) {
   out_ << '\n';
 }
 
-std::vector<std::vector<std::string>> parse_csv(const std::string& text) {
-  std::vector<std::vector<std::string>> rows;
+namespace {
+
+/// Split text into raw records at newlines outside quoted fields. This is
+/// the lenient half of parsing: it strips a UTF-8 BOM, accepts LF, CRLF,
+/// and bare-CR record terminators, tolerates a missing trailing newline,
+/// and skips blank records. Quote state is tracked so embedded newlines
+/// inside quoted fields stay part of their record; an unterminated quote
+/// simply runs to end of text (parse_record reports it).
+std::vector<std::string> split_records(const std::string& text) {
+  std::vector<std::string> records;
+  std::size_t begin = 0;
+  if (text.rfind("\xEF\xBB\xBF", 0) == 0) begin = 3;
+
+  std::string record;
+  bool in_quotes = false;
+  for (std::size_t i = begin; i < text.size(); ++i) {
+    const char ch = text[i];
+    if (in_quotes) {
+      record += ch;
+      if (ch == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          record += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      }
+      continue;
+    }
+    if (ch == '"') {
+      in_quotes = true;
+      record += ch;
+      continue;
+    }
+    if (ch == '\n' || ch == '\r') {
+      if (ch == '\r' && i + 1 < text.size() && text[i + 1] == '\n') ++i;
+      if (!record.empty()) records.push_back(std::move(record));
+      record.clear();
+      continue;
+    }
+    record += ch;
+  }
+  if (!record.empty()) records.push_back(std::move(record));
+  return records;
+}
+
+/// Tokenize one record into fields. Strict error semantics: a quote
+/// opening mid-field throws InvalidArgument, an unterminated quoted
+/// field throws IoError.
+std::vector<std::string> parse_record(const std::string& record) {
   std::vector<std::string> row;
   std::string field;
   bool in_quotes = false;
-  bool field_started = false;
-
-  const auto end_field = [&] {
-    row.push_back(std::move(field));
-    field.clear();
-    field_started = false;
-  };
-  const auto end_row = [&] {
-    if (field_started || !field.empty() || !row.empty()) {
-      end_field();
-      rows.push_back(std::move(row));
-      row.clear();
-    }
-  };
-
-  for (std::size_t i = 0; i < text.size(); ++i) {
-    const char ch = text[i];
+  for (std::size_t i = 0; i < record.size(); ++i) {
+    const char ch = record[i];
     if (in_quotes) {
       if (ch == '"') {
-        if (i + 1 < text.size() && text[i + 1] == '"') {
+        if (i + 1 < record.size() && record[i + 1] == '"') {
           field += '"';
           ++i;
         } else {
@@ -103,25 +139,52 @@ std::vector<std::vector<std::string>> parse_csv(const std::string& text) {
       case '"':
         require(field.empty(), "csv: quote inside unquoted field");
         in_quotes = true;
-        field_started = true;
         break;
       case ',':
-        end_field();
-        field_started = true;  // next field exists even if empty
-        break;
-      case '\r':
-        break;
-      case '\n':
-        end_row();
+        row.push_back(std::move(field));
+        field.clear();
         break;
       default:
         field += ch;
-        field_started = true;
     }
   }
   if (in_quotes) throw IoError{"csv: unterminated quoted field"};
-  end_row();
+  row.push_back(std::move(field));
+  return row;
+}
+
+std::string join_fields(const std::vector<std::string>& fields) {
+  std::string out;
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) out += ',';
+    out += fields[i];
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::vector<std::string>> parse_csv(const std::string& text) {
+  std::vector<std::vector<std::string>> rows;
+  for (const auto& record : split_records(text)) {
+    rows.push_back(parse_record(record));
+  }
   return rows;
+}
+
+CsvParseResult parse_csv_lenient(const std::string& text) {
+  CsvParseResult out;
+  const auto records = split_records(text);
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    try {
+      out.rows.push_back(parse_record(records[i]));
+      out.row_indices.push_back(i);
+      out.quarantine.note_admitted();
+    } catch (const std::exception& e) {
+      out.quarantine.add(i, QuarantineReason::kMalformedRow, records[i], e.what());
+    }
+  }
+  return out;
 }
 
 namespace {
@@ -156,18 +219,11 @@ void write_user_records(std::ostream& out, const std::vector<UserRecord>& record
   }
 }
 
-std::vector<UserRecord> read_user_records(const std::string& csv_text) {
-  const auto rows = parse_csv(csv_text);
-  require(!rows.empty(), "read_user_records: empty csv");
-  require(rows.front() == kUserHeader, "read_user_records: unexpected header");
+namespace {
 
-  std::vector<UserRecord> records;
-  records.reserve(rows.size() - 1);
-  for (std::size_t i = 1; i < rows.size(); ++i) {
-    const auto& f = rows[i];
-    if (f.size() != kUserHeader.size()) {
-      throw IoError{"read_user_records: wrong field count in row " + std::to_string(i)};
-    }
+/// Parse one already-tokenized data row (exactly kUserHeader.size()
+/// fields). Throws IoError on unparseable values.
+UserRecord parse_user_row(const std::vector<std::string>& f) {
     UserRecord r;
     r.user_id = to_u64(f[0]);
     r.source = f[1] == "fcc" ? Source::kFcc : Source::kDasu;
@@ -203,9 +259,59 @@ std::vector<UserRecord> read_user_records(const std::string& csv_text) {
       if (behavior::archetype_label(a) == f[24]) r.archetype = a;
     }
     r.bt_user = f[25] == "1";
-    records.push_back(std::move(r));
+    return r;
+}
+
+}  // namespace
+
+std::vector<UserRecord> read_user_records(const std::string& csv_text) {
+  const auto rows = parse_csv(csv_text);
+  require(!rows.empty(), "read_user_records: empty csv");
+  require(rows.front() == kUserHeader, "read_user_records: unexpected header");
+
+  std::vector<UserRecord> records;
+  records.reserve(rows.size() - 1);
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    const auto& f = rows[i];
+    if (f.size() != kUserHeader.size()) {
+      throw IoError{"read_user_records: wrong field count in row " + std::to_string(i)};
+    }
+    records.push_back(parse_user_row(f));
   }
   return records;
+}
+
+UserReadResult read_user_records_lenient(const std::string& csv_text) {
+  auto parsed = parse_csv_lenient(csv_text);
+  require(!parsed.rows.empty(), "read_user_records: empty csv");
+  require(parsed.rows.front() == kUserHeader, "read_user_records: unexpected header");
+
+  UserReadResult out;
+  out.quarantine.rows = std::move(parsed.quarantine.rows);
+  std::set<std::pair<std::uint64_t, int>> seen;
+  for (std::size_t i = 1; i < parsed.rows.size(); ++i) {
+    const auto& f = parsed.rows[i];
+    const std::size_t index = parsed.row_indices[i];
+    if (f.size() != kUserHeader.size()) {
+      out.quarantine.add(index, QuarantineReason::kWrongFieldCount, join_fields(f),
+                         "expected " + std::to_string(kUserHeader.size()) +
+                             " fields, got " + std::to_string(f.size()));
+      continue;
+    }
+    try {
+      UserRecord r = parse_user_row(f);
+      if (!seen.insert({r.user_id, r.year}).second) {
+        out.quarantine.add(index, QuarantineReason::kDuplicateKey, join_fields(f),
+                           "duplicate user_id/year " + f[0] + "/" + f[4]);
+        continue;
+      }
+      out.records.push_back(std::move(r));
+    } catch (const std::exception& e) {
+      out.quarantine.add(index, QuarantineReason::kBadValue, join_fields(f), e.what());
+    }
+  }
+  out.quarantine.admitted = out.records.size();
+  return out;
 }
 
 namespace {
@@ -308,6 +414,24 @@ void write_upgrades(std::ostream& out, const std::vector<UpgradeObservation>& up
   }
 }
 
+namespace {
+
+UpgradeObservation parse_upgrade_row(const std::vector<std::string>& f) {
+  UpgradeObservation u;
+  u.user_id = to_u64(f[0]);
+  u.country_code = f[1];
+  u.year = static_cast<int>(to_u64(f[2]));
+  u.old_capacity = Rate::from_mbps(to_double(f[3]));
+  u.new_capacity = Rate::from_mbps(to_double(f[4]));
+  u.old_price = MoneyPpp::usd(to_double(f[5]));
+  u.new_price = MoneyPpp::usd(to_double(f[6]));
+  u.before = parse_summary(f, 7);
+  u.after = parse_summary(f, 15);
+  return u;
+}
+
+}  // namespace
+
 std::vector<UpgradeObservation> read_upgrades(const std::string& csv_text) {
   const auto rows = parse_csv(csv_text);
   require(!rows.empty(), "read_upgrades: empty csv");
@@ -319,18 +443,41 @@ std::vector<UpgradeObservation> read_upgrades(const std::string& csv_text) {
     if (f.size() != kUpgradeHeader.size()) {
       throw IoError{"read_upgrades: wrong field count in row " + std::to_string(i)};
     }
-    UpgradeObservation u;
-    u.user_id = to_u64(f[0]);
-    u.country_code = f[1];
-    u.year = static_cast<int>(to_u64(f[2]));
-    u.old_capacity = Rate::from_mbps(to_double(f[3]));
-    u.new_capacity = Rate::from_mbps(to_double(f[4]));
-    u.old_price = MoneyPpp::usd(to_double(f[5]));
-    u.new_price = MoneyPpp::usd(to_double(f[6]));
-    u.before = parse_summary(f, 7);
-    u.after = parse_summary(f, 15);
-    out.push_back(std::move(u));
+    out.push_back(parse_upgrade_row(f));
   }
+  return out;
+}
+
+UpgradeReadResult read_upgrades_lenient(const std::string& csv_text) {
+  auto parsed = parse_csv_lenient(csv_text);
+  require(!parsed.rows.empty(), "read_upgrades: empty csv");
+  require(parsed.rows.front() == kUpgradeHeader, "read_upgrades: unexpected header");
+
+  UpgradeReadResult out;
+  out.quarantine.rows = std::move(parsed.quarantine.rows);
+  std::set<std::pair<std::uint64_t, int>> seen;
+  for (std::size_t i = 1; i < parsed.rows.size(); ++i) {
+    const auto& f = parsed.rows[i];
+    const std::size_t index = parsed.row_indices[i];
+    if (f.size() != kUpgradeHeader.size()) {
+      out.quarantine.add(index, QuarantineReason::kWrongFieldCount, join_fields(f),
+                         "expected " + std::to_string(kUpgradeHeader.size()) +
+                             " fields, got " + std::to_string(f.size()));
+      continue;
+    }
+    try {
+      UpgradeObservation u = parse_upgrade_row(f);
+      if (!seen.insert({u.user_id, u.year}).second) {
+        out.quarantine.add(index, QuarantineReason::kDuplicateKey, join_fields(f),
+                           "duplicate user_id/year " + f[0] + "/" + f[2]);
+        continue;
+      }
+      out.records.push_back(std::move(u));
+    } catch (const std::exception& e) {
+      out.quarantine.add(index, QuarantineReason::kBadValue, join_fields(f), e.what());
+    }
+  }
+  out.quarantine.admitted = out.records.size();
   return out;
 }
 

@@ -90,6 +90,7 @@ struct Toolkit {
   measurement::NdtProbe ndt{};
   measurement::DasuCollector dasu_collector;
   measurement::GatewayCollector gateway{};
+  const faults::FaultPlan* faults{nullptr};
 
   explicit Toolkit(int epoch_year)
       : clock{epoch_year},
@@ -103,6 +104,7 @@ struct Toolkit {
     p.workload = &workload;
     p.dasu = &dasu_collector;
     p.gateway = &gateway;
+    p.faults = faults;
     p.tcp = tcp;
     return p;
   }
@@ -113,8 +115,9 @@ measurement::UsageSummary observe(const Toolkit& kit, const StudyConfig& config,
                                   const AccessLink& link,
                                   const netsim::WorkloadParams& wp, SimTime t0,
                                   double window_days, double bin_s, bool gateway,
-                                  Rng& rng) {
+                                  std::uint64_t stream_id, Rng& rng) {
   measurement::HouseholdTask task;
+  task.stream_id = stream_id;  // keys this household's fault substream
   task.workload = wp;
   task.link = link;
   task.t0 = t0;
@@ -132,7 +135,31 @@ measurement::UsageSummary observe(const Toolkit& kit, const StudyConfig& config,
 struct UserOutcome {
   std::optional<UserRecord> record;
   std::optional<UpgradeObservation> upgrade;
+  /// Set when the household threw instead of producing an outcome; the
+  /// merge loop files it into StudyDataset::qc (index = user id).
+  std::optional<core::QuarantinedRow> failure;
 };
+
+/// Wrap a per-user simulation body with failure isolation: an exception
+/// becomes a quarantined outcome instead of killing the whole run.
+template <typename Body>
+UserOutcome guarded_user(std::uint64_t user_id, const Body& body) {
+  try {
+    return body(user_id);
+  } catch (const InjectedFault& e) {
+    UserOutcome out;
+    out.failure = core::QuarantinedRow{static_cast<std::size_t>(user_id),
+                                       QuarantineReason::kInjectedFault,
+                                       "user " + std::to_string(user_id), e.what()};
+    return out;
+  } catch (const std::exception& e) {
+    UserOutcome out;
+    out.failure = core::QuarantinedRow{static_cast<std::size_t>(user_id),
+                                       QuarantineReason::kHouseholdFailure,
+                                       "user " + std::to_string(user_id), e.what()};
+    return out;
+  }
+}
 
 }  // namespace
 
@@ -168,6 +195,10 @@ StudyDataset StudyGenerator::generate() const {
   ds.markets = build_markets(root);
 
   Toolkit kit{config_.first_year};
+  if (!config_.faults.empty()) {
+    kit.faults = &config_.faults;
+    log_info("fault injection active: ", config_.faults.summary());
+  }
   core::ThreadPool pool{config_.threads};
   log_debug("simulating households on ", pool.size(), " threads");
   behavior::DemandModelParams demand_params;
@@ -237,7 +268,8 @@ StudyDataset StudyGenerator::generate() const {
             year_base + std::floor(rng.uniform(0.0, max_day)) * kDay;
 
         const auto summary = observe(kit, config_, link, wp, t0, config_.window_days,
-                                     config_.dasu_bin_s, /*gateway=*/false, rng);
+                                     config_.dasu_bin_s, /*gateway=*/false, user_id,
+                                     rng);
         const auto probe = kit.ndt.characterize(link, rng);
 
         UserRecord rec;
@@ -331,10 +363,10 @@ StudyDataset StudyGenerator::generate() const {
             obs.new_price = new_plan.monthly_price;
             obs.before = observe(kit, config_, link, before_wp, t_before,
                                  config_.window_days, config_.dasu_bin_s,
-                                 /*gateway=*/false, rng);
+                                 /*gateway=*/false, user_id, rng);
             obs.after = observe(kit, config_, new_link, after_wp, t_after,
                                 config_.window_days, config_.dasu_bin_s,
-                                /*gateway=*/false, rng);
+                                /*gateway=*/false, user_id, rng);
             out.upgrade = std::move(obs);
           }
         }
@@ -344,10 +376,16 @@ StudyDataset StudyGenerator::generate() const {
       std::vector<UserOutcome> outcomes(n_users);
       core::parallel_for(pool, n_users, [&](std::size_t begin, std::size_t end) {
         for (std::size_t u = begin; u < end; ++u) {
-          outcomes[u] = simulate_user(base_id + u);
+          outcomes[u] = guarded_user(base_id + u, simulate_user);
         }
       });
       for (auto& out : outcomes) {
+        if (out.failure) {
+          ds.qc.add(out.failure->index, out.failure->reason, out.failure->raw,
+                    out.failure->detail);
+          continue;
+        }
+        ds.qc.note_admitted();
         if (out.record) ds.dasu.push_back(std::move(*out.record));
         if (out.upgrade) ds.upgrades.push_back(std::move(*out.upgrade));
       }
@@ -394,7 +432,7 @@ StudyDataset StudyGenerator::generate() const {
         const SimTime t0 = year_base + std::floor(rng.uniform(0.0, max_day)) * kDay;
         const auto summary =
             observe(kit, config_, link, wp, t0, config_.fcc_window_days,
-                    config_.dasu_bin_s, /*gateway=*/true, rng);
+                    config_.dasu_bin_s, /*gateway=*/true, user_id, rng);
         const auto probe = kit.ndt.characterize(link, rng);
 
         UserRecord rec;
@@ -424,12 +462,28 @@ StudyDataset StudyGenerator::generate() const {
       std::vector<UserOutcome> outcomes(per_year);
       core::parallel_for(pool, per_year, [&](std::size_t begin, std::size_t end) {
         for (std::size_t u = begin; u < end; ++u) {
-          outcomes[u] = simulate_user(base_id + u);
+          outcomes[u] = guarded_user(base_id + u, simulate_user);
         }
       });
       for (auto& out : outcomes) {
+        if (out.failure) {
+          ds.qc.add(out.failure->index, out.failure->reason, out.failure->raw,
+                    out.failure->detail);
+          continue;
+        }
+        ds.qc.note_admitted();
         if (out.record) ds.fcc.push_back(std::move(*out.record));
       }
+    }
+  }
+
+  if (!ds.qc.empty()) {
+    log_warn("generation quarantine: ", ds.qc.summary());
+    if (ds.qc.failure_rate() > config_.max_household_failure_rate) {
+      throw AnalysisError{"StudyGenerator: household failure rate " +
+                          std::to_string(ds.qc.failure_rate()) + " exceeds max " +
+                          std::to_string(config_.max_household_failure_rate) +
+                          " (" + ds.qc.summary() + ")"};
     }
   }
 

@@ -16,8 +16,10 @@
 #include <vector>
 
 #include "behavior/demand.h"
+#include "core/quarantine.h"
 #include "core/rng.h"
 #include "dataset/user_record.h"
+#include "faults/fault_plan.h"
 #include "market/catalog.h"
 #include "market/choice.h"
 #include "market/country.h"
@@ -70,6 +72,16 @@ struct StudyConfig {
   /// Annual growth of household needs (drives tier migration, not
   /// within-tier demand).
   double annual_need_growth{1.32};
+  /// Fault-injection plan applied during generation (empty = clean run).
+  /// Series faults pass through the measurement pipeline; a household
+  /// selected for hard failure is quarantined into StudyDataset::qc.
+  faults::FaultPlan faults{};
+  /// Abort generation (AnalysisError) when more than this fraction of
+  /// simulated households fails outright.
+  double max_household_failure_rate{0.02};
+  /// Coverage floor the analysis layer applies before computing
+  /// statistics (see CoverageRule).
+  CoverageRule coverage{};
   /// Generate with all causal effects disabled (falsification runs).
   bool placebo{false};
   /// Fine-grained ablation switches (ignored when `placebo` is set, which
@@ -86,6 +98,8 @@ struct StudyDataset {
   std::vector<UserRecord> fcc;           ///< US gateway records
   std::vector<UpgradeObservation> upgrades;
   std::map<std::string, MarketSnapshot> markets;  ///< by country code
+  /// Households quarantined during generation (index = user id).
+  core::QuarantineReport qc;
 
   [[nodiscard]] std::vector<const UserRecord*> dasu_in(const std::string& country) const;
 };

@@ -17,6 +17,21 @@
 
 namespace bblab::dataset {
 
+/// The paper's coverage filter: a user's summary statistics are only
+/// trusted once the instrument observed enough of their traffic. Users
+/// below the floor are dropped from analyses (and counted, not erased —
+/// the scorecard surfaces how many were excluded).
+struct CoverageRule {
+  std::size_t min_samples{2};
+  double min_days{0.0};  ///< minimum observed time, in days of samples
+
+  [[nodiscard]] bool admits(const measurement::UsageSummary& usage,
+                            double bin_s) const {
+    return usage.samples >= min_samples &&
+           static_cast<double>(usage.samples) * bin_s >= min_days * kDay;
+  }
+};
+
 enum class Source { kDasu, kFcc };
 
 [[nodiscard]] inline std::string source_label(Source s) {

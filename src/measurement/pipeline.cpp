@@ -1,14 +1,54 @@
 #include "measurement/pipeline.h"
 
+#include <algorithm>
+#include <cstdint>
+#include <sstream>
+#include <string>
+
 #include "core/error.h"
 
 namespace bblab::measurement {
+
+void apply_faults(UsageSeries& series, const faults::HouseholdFaults& household) {
+  if (household.empty()) return;
+  auto& samples = series.samples;
+  if (!household.dropped.empty()) {
+    std::erase_if(samples, [&](const UsageSample& s) {
+      return household.in_dropped(s.time);
+    });
+  }
+  constexpr double kWrapBytes = 4294967296.0;  // 2^32: one full 32-bit wrap
+  for (auto& s : samples) {
+    if (household.reset_time && *household.reset_time >= s.time &&
+        *household.reset_time < s.time + s.interval_s) {
+      // The delta spanning a counter reset is unrecoverable; a real
+      // collector reports it as zero traffic.
+      s.down = Rate{};
+      s.up = Rate{};
+    }
+    if (household.spurious_wrap_time && *household.spurious_wrap_time >= s.time &&
+        *household.spurious_wrap_time < s.time + s.interval_s) {
+      s.down = Rate::from_bps(s.down.bps() +
+                              rate_over(kWrapBytes, s.interval_s).bps());
+    }
+    s.time += household.clock_skew_s;
+  }
+}
 
 HouseholdResult simulate_household(const PipelineToolkit& kit,
                                    const HouseholdTask& task, Rng& rng) {
   require(kit.workload != nullptr, "simulate_household: workload generator required");
   require(task.bins > 0, "simulate_household: need at least one bin");
   const SimTime t1 = task.t0 + static_cast<double>(task.bins) * task.bin_width_s;
+
+  faults::HouseholdFaults household;
+  if (kit.faults != nullptr && !kit.faults->empty()) {
+    household = faults::materialize(*kit.faults, task.stream_id, task.t0, t1);
+    if (household.fail_household) {
+      throw InjectedFault{"injected household failure (stream " +
+                          std::to_string(task.stream_id) + ")"};
+    }
+  }
 
   HouseholdResult result;
   const auto flows = kit.workload->generate(task.workload, task.link, task.t0, t1, rng);
@@ -22,6 +62,7 @@ HouseholdResult simulate_household(const PipelineToolkit& kit,
     result.series =
         kit.dasu->collect(result.truth, task.workload.phase_shift_hours, rng);
   }
+  apply_faults(result.series, household);
   result.summary = summarize(result.series);
   return result;
 }
@@ -37,6 +78,63 @@ std::vector<HouseholdResult> parallel_simulate_households(
     }
   });
   return results;
+}
+
+BatchResult parallel_simulate_households(const PipelineToolkit& kit,
+                                         std::span<const HouseholdTask> tasks,
+                                         const Rng& base, core::ThreadPool& pool,
+                                         const BatchOptions& options) {
+  BatchResult out;
+  if (!options.isolate_failures) {
+    out.results = parallel_simulate_households(kit, tasks, base, pool);
+    out.quarantine.note_admitted(out.results.size());
+    return out;
+  }
+
+  out.results.resize(tasks.size());
+  // Per-slot failure records, written in parallel (disjoint slots) and
+  // merged into the report in task order below, so the report — like the
+  // results — is independent of thread count.
+  std::vector<std::uint8_t> injected(tasks.size(), 0);
+  std::vector<std::string> errors(tasks.size());
+  core::parallel_for(pool, tasks.size(), [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      Rng rng = base.fork(tasks[i].stream_id);
+      try {
+        out.results[i] = simulate_household(kit, tasks[i], rng);
+      } catch (const InjectedFault& e) {
+        out.results[i] = HouseholdResult{};
+        out.results[i].failed = true;
+        injected[i] = 1;
+        errors[i] = e.what();
+      } catch (const std::exception& e) {
+        out.results[i] = HouseholdResult{};
+        out.results[i].failed = true;
+        errors[i] = e.what();
+      }
+    }
+  });
+
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    if (out.results[i].failed) {
+      out.quarantine.add(i,
+                         injected[i] != 0 ? QuarantineReason::kInjectedFault
+                                          : QuarantineReason::kHouseholdFailure,
+                         "stream " + std::to_string(tasks[i].stream_id), errors[i]);
+    } else {
+      out.quarantine.note_admitted();
+    }
+  }
+
+  if (out.quarantine.failure_rate() > options.max_failure_rate) {
+    std::ostringstream os;
+    os << "parallel_simulate_households: " << out.quarantine.quarantined() << "/"
+       << out.quarantine.total() << " households failed (rate "
+       << out.quarantine.failure_rate() << " > max " << options.max_failure_rate
+       << ")";
+    throw AnalysisError{os.str()};
+  }
+  return out;
 }
 
 }  // namespace bblab::measurement

@@ -14,8 +14,10 @@
 #include <span>
 #include <vector>
 
+#include "core/quarantine.h"
 #include "core/rng.h"
 #include "core/thread_pool.h"
+#include "faults/fault_plan.h"
 #include "measurement/collectors.h"
 #include "measurement/usage.h"
 #include "netsim/fluid.h"
@@ -45,6 +47,7 @@ struct HouseholdResult {
   netsim::BinnedUsage truth;  ///< simulator ground truth
   UsageSeries series;         ///< what the instrument observed
   UsageSummary summary;       ///< the per-user demand metrics
+  bool failed{false};         ///< quarantined by the isolating batch driver
 };
 
 /// Shared read-only simulation components. All referenced objects must
@@ -54,12 +57,25 @@ struct PipelineToolkit {
   const netsim::WorkloadGenerator* workload{nullptr};
   const DasuCollector* dasu{nullptr};
   const GatewayCollector* gateway{nullptr};
+  /// Optional fault-injection plan; null or empty means clean data.
+  const faults::FaultPlan* faults{nullptr};
   netsim::TcpModel tcp{};
   netsim::FluidOptions fluid{};
 };
 
+/// Damage an observed series per a materialized household fault schedule:
+/// drop samples inside outage/blackout windows, zero the sample spanning
+/// a counter reset, add a +2^32-byte spike to the sample spanning a
+/// spurious wrap, and shift every timestamp by the clock skew.
+void apply_faults(UsageSeries& series, const faults::HouseholdFaults& household);
+
 /// Simulate one household end to end, drawing from `rng` in a fixed
-/// order (workload generation first, then collector sampling).
+/// order (workload generation first, then collector sampling). When the
+/// toolkit carries a fault plan, the household's fault schedule is
+/// materialized from (plan, task.stream_id) — independent of `rng`, so
+/// faults never perturb the simulation's randomness — and applied to the
+/// observed series; a household selected for hard failure throws
+/// InjectedFault.
 [[nodiscard]] HouseholdResult simulate_household(const PipelineToolkit& kit,
                                                  const HouseholdTask& task,
                                                  Rng& rng);
@@ -70,5 +86,30 @@ struct PipelineToolkit {
 [[nodiscard]] std::vector<HouseholdResult> parallel_simulate_households(
     const PipelineToolkit& kit, std::span<const HouseholdTask> tasks,
     const Rng& base, core::ThreadPool& pool);
+
+/// Degradation policy for the isolating batch driver.
+struct BatchOptions {
+  /// Quarantine per-household exceptions instead of failing the batch.
+  bool isolate_failures{false};
+  /// Abort (AnalysisError) when quarantined/total exceeds this rate.
+  double max_failure_rate{1.0};
+};
+
+struct BatchResult {
+  std::vector<HouseholdResult> results;  ///< task order; failed slots are empty
+  core::QuarantineReport quarantine;     ///< index = task index
+};
+
+/// Like the vector overload, but with graceful degradation: when
+/// `options.isolate_failures` is set, a household that throws is recorded
+/// in the quarantine report (InjectedFault -> injected-fault, anything
+/// else -> household-failure), its result slot is marked `failed`, and
+/// the batch continues — unless the failure rate crosses
+/// `options.max_failure_rate`, which aborts with AnalysisError. The
+/// quarantine report is merged in task order, so it is bit-identical for
+/// any pool size too.
+[[nodiscard]] BatchResult parallel_simulate_households(
+    const PipelineToolkit& kit, std::span<const HouseholdTask> tasks,
+    const Rng& base, core::ThreadPool& pool, const BatchOptions& options);
 
 }  // namespace bblab::measurement

@@ -108,6 +108,32 @@ TEST(DasuCollector, FlagsBitTorrentPeriods) {
   }
 }
 
+TEST(DasuCollector, TotalSampleLossYieldsEmptySeries) {
+  DasuCollectorParams params;
+  params.availability_floor = 1.0;
+  params.sample_loss = 1.0;  // host is up but every poll is dropped
+  const DasuCollector collector{params, diurnal()};
+  Rng rng{13};
+  const auto series = collector.collect(constant_truth(100, 30.0, 1e6), 0.0, rng);
+  EXPECT_EQ(series.size(), 0u);
+}
+
+TEST(DasuCollector, ZeroAvailabilityFloorFollowsDiurnalOnly) {
+  DasuCollectorParams params;
+  params.availability_floor = 0.0;  // availability is pure diurnal activity
+  params.sample_loss = 0.0;
+  const DasuCollector collector{params, diurnal()};
+  Rng rng{15};
+  const auto truth = constant_truth(2880 * 7, 30.0, 1e6);  // one week
+  const auto series = collector.collect(truth, 0.0, rng);
+  ASSERT_GT(series.size(), 0u);
+  ASSERT_LT(series.size(), truth.bins());
+  // Sparse sampling must not distort the reconstructed rate.
+  for (const auto& s : series.samples) {
+    EXPECT_NEAR(s.down.mbps(), 1.0, 0.01);
+  }
+}
+
 TEST(GatewayCollector, AggregatesHourly) {
   const GatewayCollector collector;
   const auto truth = constant_truth(2880, 30.0, 4e6);  // 1 day at 4 Mbps
@@ -128,6 +154,16 @@ TEST(GatewayCollector, HandlesPartialTrailingWindow) {
   EXPECT_DOUBLE_EQ(series.samples[0].interval_s, 3600.0);
   EXPECT_DOUBLE_EQ(series.samples[1].interval_s, 300.0);
   EXPECT_NEAR(series.samples[1].down.mbps(), 4.0, 1e-9);
+}
+
+TEST(GatewayCollector, ZeroBinWindowYieldsEmptySeries) {
+  const GatewayCollector collector;
+  netsim::BinnedUsage truth;
+  truth.start = 0.0;
+  truth.bin_width_s = 30.0;
+  const auto series = collector.collect(truth);
+  EXPECT_EQ(series.size(), 0u);
+  EXPECT_EQ(summarize(series).samples, 0u);
 }
 
 TEST(GatewayCollector, ConservesBytes) {

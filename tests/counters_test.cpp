@@ -83,6 +83,20 @@ TEST(CounterReader, Netstat64DoesNotWrap) {
   EXPECT_EQ(reader.read(five_gb), static_cast<std::uint64_t>(five_gb));
 }
 
+TEST(CounterReader, DoubleWrapWithinOneIntervalAliases) {
+  // A 32-bit counter exposes only the true delta modulo 2^32. If more
+  // than 2^32 bytes move between two reads (a double wrap within one
+  // sampling interval), the excess wrap is invisible and the delta
+  // under-reports by exactly 2^32 — the pathology the fault layer's
+  // spurious-wrap knob injects from the other direction.
+  const CounterReader reader{CounterKind::kUpnp32};
+  const double wrap = 4294967296.0;  // 2^32
+  const double total = 1e9;
+  const auto prev = reader.read(total);
+  const auto cur = reader.read(total + wrap + 123456.0);
+  EXPECT_EQ(counter_delta(prev, cur, reader.bits()), 123456u);
+}
+
 TEST(CounterReader, WrapRecoveryEndToEnd) {
   // Accumulate 100 MB every read past the 32-bit boundary; deltas must
   // come back exact despite the wrap.

@@ -42,6 +42,29 @@ TEST(ParseCsv, MissingTrailingNewline) {
   EXPECT_EQ(rows[0], (std::vector<std::string>{"a", "b"}));
 }
 
+TEST(ParseCsv, ToleratesRealWorldFileShapes) {
+  // Files exported from other tooling arrive with a UTF-8 BOM, CRLF or
+  // classic-Mac bare-CR line endings, or a missing final newline — all of
+  // which must parse to the same two rows.
+  struct Case {
+    const char* name;
+    std::string text;
+  };
+  const std::vector<Case> cases{
+      {"utf-8 bom", "\xEF\xBB\xBF" "a,b\n1,2\n"},
+      {"crlf", "a,b\r\n1,2\r\n"},
+      {"bare cr", "a,b\r1,2\r"},
+      {"no trailing newline", "a,b\n1,2"},
+      {"bom + crlf + no trailing newline", "\xEF\xBB\xBF" "a,b\r\n1,2"},
+  };
+  for (const auto& c : cases) {
+    const auto rows = parse_csv(c.text);
+    ASSERT_EQ(rows.size(), 2u) << c.name;
+    EXPECT_EQ(rows[0], (std::vector<std::string>{"a", "b"})) << c.name;
+    EXPECT_EQ(rows[1], (std::vector<std::string>{"1", "2"})) << c.name;
+  }
+}
+
 TEST(ParseCsv, MalformedInputThrows) {
   EXPECT_THROW(parse_csv("\"unterminated"), IoError);
   EXPECT_THROW(parse_csv("ab\"cd\n"), InvalidArgument);
@@ -112,6 +135,19 @@ TEST(UserRecordsCsv, RoundTrips) {
   EXPECT_EQ(r.usage.samples, 5000u);
   EXPECT_EQ(r.archetype, behavior::Archetype::kStreamer);
   EXPECT_TRUE(r.bt_user);
+}
+
+TEST(UserRecordsCsv, ReadsCrlfWithBom) {
+  std::ostringstream os;
+  write_user_records(os, {sample_record()});
+  std::string crlf;
+  for (const char ch : os.str()) {
+    if (ch == '\n') crlf += '\r';
+    crlf += ch;
+  }
+  const auto back = read_user_records("\xEF\xBB\xBF" + crlf);
+  ASSERT_EQ(back.size(), 1u);
+  EXPECT_EQ(back[0].user_id, 42u);
 }
 
 TEST(UserRecordsCsv, RejectsWrongHeader) {

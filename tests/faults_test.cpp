@@ -1,0 +1,176 @@
+// The fault-injection layer's contract: everything about a FaultPlan is
+// deterministic in (seed, stream id), knobs never perturb each other's
+// randomness, and the damage it does to series and CSV text is exactly
+// the documented damage.
+#include "faults/fault_plan.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/error.h"
+#include "core/units.h"
+#include "measurement/pipeline.h"
+
+namespace bblab::faults {
+namespace {
+
+TEST(FaultPlan, DefaultsAreClean) {
+  const FaultPlan plan;
+  EXPECT_TRUE(plan.empty());
+  EXPECT_FALSE(plan.any_series_faults());
+  EXPECT_FALSE(plan.any_csv_faults());
+  EXPECT_EQ(plan.summary(), "no faults");
+}
+
+TEST(FaultPlan, ParseSetsKnobs) {
+  const auto plan = FaultPlan::parse(
+      "churn=0.1,outage_h=3 blackout=0.2,reset=0.05 wrap=0.02,skew=0.5,"
+      "skew_s=60,dup=0.01,corrupt=0.02,truncate=0.03,fail=0.04,seed=99");
+  EXPECT_DOUBLE_EQ(plan.churn_probability, 0.1);
+  EXPECT_DOUBLE_EQ(plan.mean_outage_hours, 3.0);
+  EXPECT_DOUBLE_EQ(plan.blackout_probability, 0.2);
+  EXPECT_DOUBLE_EQ(plan.reset_probability, 0.05);
+  EXPECT_DOUBLE_EQ(plan.spurious_wrap_probability, 0.02);
+  EXPECT_DOUBLE_EQ(plan.clock_skew_probability, 0.5);
+  EXPECT_DOUBLE_EQ(plan.max_clock_skew_s, 60.0);
+  EXPECT_DOUBLE_EQ(plan.row_duplicate_probability, 0.01);
+  EXPECT_DOUBLE_EQ(plan.row_corrupt_probability, 0.02);
+  EXPECT_DOUBLE_EQ(plan.row_truncate_probability, 0.03);
+  EXPECT_DOUBLE_EQ(plan.household_failure_probability, 0.04);
+  EXPECT_EQ(plan.seed, 99u);
+  EXPECT_TRUE(plan.any_series_faults());
+  EXPECT_TRUE(plan.any_csv_faults());
+}
+
+TEST(FaultPlan, ParseLayersOnBase) {
+  FaultPlan base;
+  base.seed = 7;
+  base.churn_probability = 0.4;
+  const auto plan = FaultPlan::parse("blackout=0.3", base);
+  EXPECT_EQ(plan.seed, 7u);
+  EXPECT_DOUBLE_EQ(plan.churn_probability, 0.4);
+  EXPECT_DOUBLE_EQ(plan.blackout_probability, 0.3);
+}
+
+TEST(FaultPlan, ParseRejectsGarbage) {
+  EXPECT_THROW((void)FaultPlan::parse("bogus=1"), InvalidArgument);
+  EXPECT_THROW((void)FaultPlan::parse("churn"), InvalidArgument);
+  EXPECT_THROW((void)FaultPlan::parse("churn=abc"), InvalidArgument);
+  EXPECT_THROW((void)FaultPlan::parse("churn=0.1x"), InvalidArgument);
+}
+
+TEST(Materialize, DeterministicPerStream) {
+  auto plan = FaultPlan::parse("churn=0.5,blackout=0.5,reset=0.5,wrap=0.5,skew=0.5");
+  const auto a = materialize(plan, 42, 0.0, 7 * kDay);
+  const auto b = materialize(plan, 42, 0.0, 7 * kDay);
+  EXPECT_EQ(a.dropped.size(), b.dropped.size());
+  for (std::size_t i = 0; i < a.dropped.size(); ++i) {
+    EXPECT_EQ(a.dropped[i].begin, b.dropped[i].begin);
+    EXPECT_EQ(a.dropped[i].end, b.dropped[i].end);
+  }
+  EXPECT_EQ(a.clock_skew_s, b.clock_skew_s);
+  EXPECT_EQ(a.reset_time, b.reset_time);
+  EXPECT_EQ(a.spurious_wrap_time, b.spurious_wrap_time);
+  EXPECT_EQ(a.fail_household, b.fail_household);
+
+  // Different streams diverge (probabilistically certain over 64 streams).
+  bool any_different = false;
+  for (std::uint64_t s = 0; s < 64 && !any_different; ++s) {
+    const auto other = materialize(plan, 1000 + s, 0.0, 7 * kDay);
+    any_different = other.fail_household != a.fail_household ||
+                    other.dropped.size() != a.dropped.size() ||
+                    other.clock_skew_s != a.clock_skew_s;
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(Materialize, KnobsDrawIndependently) {
+  // Turning the wrap knob on must not move the churn windows: every
+  // decision draws unconditionally in a fixed order.
+  const auto just_churn = FaultPlan::parse("churn=1.0");
+  const auto churn_and_wrap = FaultPlan::parse("churn=1.0,wrap=1.0,fail=1.0");
+  for (std::uint64_t stream = 1; stream <= 32; ++stream) {
+    const auto a = materialize(just_churn, stream, 0.0, 3 * kDay);
+    const auto b = materialize(churn_and_wrap, stream, 0.0, 3 * kDay);
+    ASSERT_EQ(a.dropped.size(), 1u) << stream;
+    ASSERT_EQ(b.dropped.size(), 1u) << stream;
+    EXPECT_EQ(a.dropped[0].begin, b.dropped[0].begin) << stream;
+    EXPECT_EQ(a.dropped[0].end, b.dropped[0].end) << stream;
+    EXPECT_FALSE(a.fail_household);
+    EXPECT_TRUE(b.fail_household);
+    EXPECT_TRUE(b.spurious_wrap_time.has_value());
+  }
+}
+
+TEST(Materialize, EmptyPlanProducesNoFaults) {
+  const auto hf = materialize(FaultPlan{}, 5, 0.0, kDay);
+  EXPECT_TRUE(hf.empty());
+  EXPECT_TRUE(hf.dropped.empty());
+  EXPECT_FALSE(hf.fail_household);
+}
+
+TEST(ApplyFaults, DropsZeroesSpikesAndSkews) {
+  measurement::UsageSeries series;
+  for (int i = 0; i < 10; ++i) {
+    measurement::UsageSample s;
+    s.time = i * 30.0;
+    s.interval_s = 30.0;
+    s.down = Rate::from_mbps(1.0);
+    s.up = Rate::from_kbps(100.0);
+    series.samples.push_back(s);
+  }
+
+  HouseholdFaults hf;
+  hf.dropped.push_back({60.0, 120.0});  // samples at t=60, t=90
+  hf.reset_time = 155.0;                // inside the t=150 sample
+  hf.spurious_wrap_time = 215.0;        // inside the t=210 sample
+  hf.clock_skew_s = 10.0;
+  measurement::apply_faults(series, hf);
+
+  ASSERT_EQ(series.size(), 8u);
+  // All surviving timestamps carry the skew.
+  EXPECT_DOUBLE_EQ(series.samples[0].time, 10.0);
+  // The reset sample (originally t=150) reports zero traffic.
+  const auto& reset_sample = series.samples[3];
+  EXPECT_DOUBLE_EQ(reset_sample.time, 160.0);
+  EXPECT_DOUBLE_EQ(reset_sample.down.bps(), 0.0);
+  EXPECT_DOUBLE_EQ(reset_sample.up.bps(), 0.0);
+  // The wrap sample gains exactly 2^32 bytes over its interval.
+  const auto& wrap_sample = series.samples[5];
+  EXPECT_DOUBLE_EQ(wrap_sample.time, 220.0);
+  const double expected =
+      Rate::from_mbps(1.0).bps() + rate_over(4294967296.0, 30.0).bps();
+  EXPECT_DOUBLE_EQ(wrap_sample.down.bps(), expected);
+}
+
+TEST(CorruptCsv, IdentityWithoutCsvFaults) {
+  const std::string text = "h1,h2\n1,2\n3,4\n";
+  EXPECT_EQ(corrupt_csv(text, FaultPlan{}), text);
+  EXPECT_EQ(corrupt_csv(text, FaultPlan::parse("churn=0.9,fail=0.9")), text);
+}
+
+TEST(CorruptCsv, DeterministicAndHeaderPreserved) {
+  std::string text = "user_id,value\n";
+  for (int i = 0; i < 200; ++i) {
+    text += std::to_string(i) + "," + std::to_string(i * 10) + "\n";
+  }
+  const auto plan = FaultPlan::parse("dup=0.1,corrupt=0.2,truncate=0.1,seed=5");
+  const auto once = corrupt_csv(text, plan, 1);
+  const auto twice = corrupt_csv(text, plan, 1);
+  EXPECT_EQ(once, twice);
+  EXPECT_NE(once, text);  // with 200 rows, some damage is certain
+  EXPECT_EQ(once.substr(0, once.find('\n')), "user_id,value");
+  // A different salt damages different rows.
+  EXPECT_NE(corrupt_csv(text, plan, 2), once);
+}
+
+TEST(CorruptCsv, DuplicateEmitsCleanCopyFirst) {
+  const std::string text = "h\nrow-a\nrow-b\n";
+  const auto plan = FaultPlan::parse("dup=1.0");
+  const auto out = corrupt_csv(text, plan);
+  EXPECT_EQ(out, "h\nrow-a\nrow-a\nrow-b\nrow-b\n");
+}
+
+}  // namespace
+}  // namespace bblab::faults

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "core/error.h"
+#include "core/logging.h"
 #include "core/rng.h"
 
 namespace bblab::core {
@@ -99,6 +100,39 @@ TEST(ParallelFor, PropagatesFirstException) {
     for (std::size_t i = begin; i < end; ++i) ++hits[i];
   });
   EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 8);
+}
+
+TEST(ParallelFor, LogsSuppressedExceptionCountBeforeRethrow) {
+  // Every block throws; only the first exception propagates, but the
+  // discarded ones must be counted and logged, not dropped silently.
+  ThreadPool pool{4};
+  const LogLevel previous = log_level();
+  set_log_level(LogLevel::kWarn);
+  testing::internal::CaptureStderr();
+  EXPECT_THROW(parallel_for(pool, 1000,
+                            [](std::size_t, std::size_t) {
+                              throw InvalidArgument{"boom"};
+                            }),
+               InvalidArgument);
+  const std::string err = testing::internal::GetCapturedStderr();
+  set_log_level(previous);
+  EXPECT_NE(err.find("suppressed"), std::string::npos) << err;
+  EXPECT_NE(err.find("parallel_for"), std::string::npos) << err;
+}
+
+TEST(ParallelFor, SingleExceptionLogsNothing) {
+  ThreadPool pool{4};
+  const LogLevel previous = log_level();
+  set_log_level(LogLevel::kWarn);
+  testing::internal::CaptureStderr();
+  EXPECT_THROW(parallel_for(pool, 1000,
+                            [](std::size_t begin, std::size_t) {
+                              if (begin == 0) throw InvalidArgument{"boom"};
+                            }),
+               InvalidArgument);
+  const std::string err = testing::internal::GetCapturedStderr();
+  set_log_level(previous);
+  EXPECT_EQ(err.find("suppressed"), std::string::npos) << err;
 }
 
 }  // namespace

@@ -2,6 +2,7 @@
 //
 //   bblab markets [CC...]             market summaries (plans, prices, slopes)
 //   bblab generate [options]          synthesize a study dataset to CSV
+//   bblab ingest <users.csv>          lenient CSV ingest with a QC report
 //   bblab experiment <name> [options] run one of the paper's experiments
 //   bblab figure <name> [options]     print one of the paper's figures
 //
@@ -10,11 +11,14 @@
 //   --scale X       population scale          (default 0.1)
 //   --days X        observation window days   (default 1.0)
 //   --out DIR       output directory for `generate` (default bblab_out)
+//   --faults SPEC   fault-injection plan, e.g. "churn=0.2,corrupt=0.05"
+//   --qc-report     print the quarantine/QC table after generation
 //   --placebo       disable all planted causal effects
 #include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -25,6 +29,7 @@
 #include "core/logging.h"
 #include "dataset/csv.h"
 #include "dataset/generator.h"
+#include "faults/fault_plan.h"
 #include "market/catalog.h"
 
 namespace {
@@ -37,6 +42,8 @@ struct CliOptions {
   double scale{0.1};
   double days{1.0};
   std::string out{"bblab_out"};
+  std::string faults;  ///< FaultPlan::parse spec; empty = clean run
+  bool qc_report{false};
   bool placebo{false};
   bool markdown{false};
   std::vector<std::string> positional;
@@ -47,10 +54,12 @@ int usage() {
       << "usage: bblab <command> [args]\n"
          "  markets [CC...]              market summaries\n"
          "  generate [--out DIR]         synthesize a dataset to CSV\n"
+         "  ingest <users.csv>           lenient CSV ingest with a QC report\n"
          "  experiment <tab1|tab2|tab3|tab5|tab6|tab7|tab8>\n"
          "  figure <fig1|fig2|fig6|fig10>\n"
          "  scorecard [--markdown]       run every paper-claim check\n"
-         "common: --seed N --scale X --days X --threads N --placebo\n";
+         "common: --seed N --scale X --days X --threads N --placebo\n"
+         "        --faults SPEC (e.g. \"churn=0.2,corrupt=0.05\") --qc-report\n";
   return 2;
 }
 
@@ -80,6 +89,12 @@ bool parse(int argc, char** argv, CliOptions& options) {
       const char* v = next();
       if (v == nullptr) return false;
       options.out = v;
+    } else if (arg == "--faults") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options.faults = v;
+    } else if (arg == "--qc-report") {
+      options.qc_report = true;
     } else if (arg == "--placebo") {
       options.placebo = true;
     } else if (arg == "--markdown") {
@@ -101,9 +116,18 @@ dataset::StudyDataset make_dataset(const CliOptions& options) {
   config.population_scale = options.scale;
   config.window_days = options.days;
   config.placebo = options.placebo;
+  if (!options.faults.empty()) {
+    // The CLI seed doubles as the fault seed unless the spec overrides it
+    // with an explicit seed= key.
+    faults::FaultPlan base;
+    base.seed = options.seed;
+    config.faults = faults::FaultPlan::parse(options.faults, base);
+  }
   std::cerr << "generating dataset (seed " << config.seed << ", scale "
             << config.population_scale << ")...\n";
-  return dataset::StudyGenerator{market::World::builtin(), config}.generate();
+  auto ds = dataset::StudyGenerator{market::World::builtin(), config}.generate();
+  if (options.qc_report) analysis::print_quarantine(std::cerr, ds.qc);
+  return ds;
 }
 
 int cmd_markets(const CliOptions& options) {
@@ -134,17 +158,30 @@ int cmd_generate(const CliOptions& options) {
   const auto ds = make_dataset(options);
   const std::filesystem::path dir{options.out};
   std::filesystem::create_directories(dir);
+  // Serialization-level faults mangle the CSV text itself; each file gets
+  // its own substream salt so the damage is independent per file.
+  const auto write_csv = [&](const std::filesystem::path& name, std::string text,
+                             std::uint64_t salt) {
+    if (ds.config.faults.any_csv_faults()) {
+      text = faults::corrupt_csv(text, ds.config.faults, salt);
+    }
+    std::ofstream out{dir / name};
+    out << text;
+  };
   {
-    std::ofstream out{dir / "dasu_users.csv"};
-    dataset::write_user_records(out, ds.dasu);
+    std::ostringstream os;
+    dataset::write_user_records(os, ds.dasu);
+    write_csv("dasu_users.csv", os.str(), 1);
   }
   {
-    std::ofstream out{dir / "fcc_users.csv"};
-    dataset::write_user_records(out, ds.fcc);
+    std::ostringstream os;
+    dataset::write_user_records(os, ds.fcc);
+    write_csv("fcc_users.csv", os.str(), 2);
   }
   {
-    std::ofstream out{dir / "upgrades.csv"};
-    dataset::write_upgrades(out, ds.upgrades);
+    std::ostringstream os;
+    dataset::write_upgrades(os, ds.upgrades);
+    write_csv("upgrades.csv", os.str(), 3);
   }
   {
     std::vector<market::ServicePlan> plans;
@@ -156,6 +193,24 @@ int cmd_generate(const CliOptions& options) {
   }
   std::cout << "wrote " << ds.dasu.size() << " + " << ds.fcc.size() << " user records, "
             << ds.upgrades.size() << " upgrade pairs to " << dir << "/\n";
+  return 0;
+}
+
+int cmd_ingest(const CliOptions& options) {
+  if (options.positional.empty()) return usage();
+  const std::filesystem::path path{options.positional.front()};
+  std::ifstream in{path};
+  if (!in) {
+    std::cerr << "cannot open " << path << "\n";
+    return 1;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+
+  const auto result = dataset::read_user_records_lenient(text.str());
+  std::cout << "ingested " << result.records.size() << " user records from " << path
+            << "\n";
+  analysis::print_quarantine(std::cout, result.quarantine);
   return 0;
 }
 
@@ -248,6 +303,7 @@ int main(int argc, char** argv) {
   try {
     if (command == "markets") return cmd_markets(options);
     if (command == "generate") return cmd_generate(options);
+    if (command == "ingest") return cmd_ingest(options);
     if (command == "experiment") return cmd_experiment(options);
     if (command == "figure") return cmd_figure(options);
     if (command == "scorecard") {

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Run every reproduction harness binary in a stable order, tee-ing the
 # combined output. Usage: tools/run_all_benches.sh [output-file]
-set -u
+set -euo pipefail
 out="${1:-bench_output.txt}"
 : > "$out"
 for b in build/bench/*; do
