@@ -52,6 +52,8 @@ enum class QuarantineReason {
   kHouseholdFailure,      ///< a simulated household threw; unit isolated
   kInjectedFault,         ///< a fault-plan hard failure fired on purpose
   kInsufficientCoverage,  ///< below the minimum-coverage admission rule
+  kChecksumMismatch,      ///< a binary snapshot section failed its checksum
+  kFormatMismatch,        ///< a binary snapshot's framing/version is wrong
 };
 
 [[nodiscard]] const char* quarantine_reason_label(QuarantineReason reason);

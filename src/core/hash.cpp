@@ -1,0 +1,11 @@
+#include "core/hash.h"
+
+namespace bblab::core {
+
+std::uint64_t hash_bytes(const void* data, std::size_t size, std::uint64_t seed) {
+  Hasher h{seed};
+  h.update(data, size);
+  return h.digest();
+}
+
+}  // namespace bblab::core

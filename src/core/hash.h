@@ -1,0 +1,100 @@
+// Stable streaming 64-bit hashing.
+//
+// The snapshot store and the simulation cache both need a hash that is
+// (a) identical across platforms, compilers, and library builds — it is
+// written into files and used as an on-disk cache key — and (b) cheap
+// enough to checksum multi-megabyte column buffers. std::hash guarantees
+// neither, so this is a self-contained FNV-1a core with a splitmix64
+// avalanche finalizer: byte-order independent (input is consumed as
+// bytes, multi-byte values are serialized little-endian first), and every
+// single-byte change provably changes the digest (both the FNV round and
+// the finalizer are bijections on the 64-bit state).
+//
+// Typed update helpers canonicalize their input so fingerprints are
+// well-defined: doubles are hashed by bit pattern with -0.0 folded onto
+// +0.0 and every NaN folded onto one canonical NaN; strings are
+// length-prefixed so consecutive fields cannot alias each other.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+
+namespace bblab::core {
+
+class Hasher {
+ public:
+  explicit constexpr Hasher(std::uint64_t seed = 0)
+      : state_{kOffsetBasis ^ (seed * kSeedMix)} {}
+
+  void update(const void* data, std::size_t size) {
+    const auto* bytes = static_cast<const unsigned char*>(data);
+    std::uint64_t h = state_;
+    for (std::size_t i = 0; i < size; ++i) {
+      h = (h ^ bytes[i]) * kPrime;
+    }
+    state_ = h;
+  }
+
+  void update_u8(std::uint8_t v) { update(&v, 1); }
+  void update_bool(bool v) { update_u8(v ? 1 : 0); }
+
+  void update_u32(std::uint32_t v) {
+    const unsigned char bytes[4] = {
+        static_cast<unsigned char>(v), static_cast<unsigned char>(v >> 8),
+        static_cast<unsigned char>(v >> 16), static_cast<unsigned char>(v >> 24)};
+    update(bytes, sizeof bytes);
+  }
+
+  void update_u64(std::uint64_t v) {
+    update_u32(static_cast<std::uint32_t>(v));
+    update_u32(static_cast<std::uint32_t>(v >> 32));
+  }
+
+  void update_i64(std::int64_t v) { update_u64(static_cast<std::uint64_t>(v)); }
+
+  /// Hash by value, not representation: -0.0 hashes like +0.0 and every
+  /// NaN (any payload, any sign) hashes like one canonical quiet NaN, so
+  /// semantically equal configs always fingerprint equal.
+  void update_double(double v) {
+    std::uint64_t bits = 0;
+    if (v != v) {
+      bits = 0x7FF8000000000000ULL;  // canonical quiet NaN
+    } else {
+      if (v == 0.0) v = 0.0;  // folds -0.0 onto +0.0
+      static_assert(sizeof bits == sizeof v);
+      std::memcpy(&bits, &v, sizeof bits);
+    }
+    update_u64(bits);
+  }
+
+  /// Length-prefixed, so ("ab","c") and ("a","bc") hash differently.
+  void update_string(std::string_view s) {
+    update_u64(s.size());
+    update(s.data(), s.size());
+  }
+
+  /// Finalized digest (non-destructive; more input may still be added).
+  [[nodiscard]] std::uint64_t digest() const {
+    // splitmix64 finalizer: avalanche the FNV state so nearby inputs do
+    // not produce nearby digests.
+    std::uint64_t z = state_;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  static constexpr std::uint64_t kOffsetBasis = 0xCBF29CE484222325ULL;
+  static constexpr std::uint64_t kPrime = 0x00000100000001B3ULL;
+  static constexpr std::uint64_t kSeedMix = 0x9E3779B97F4A7C15ULL;
+
+  std::uint64_t state_;
+};
+
+/// One-shot convenience for checksumming a buffer.
+[[nodiscard]] std::uint64_t hash_bytes(const void* data, std::size_t size,
+                                       std::uint64_t seed = 0);
+
+}  // namespace bblab::core

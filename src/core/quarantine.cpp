@@ -14,6 +14,8 @@ const char* quarantine_reason_label(QuarantineReason reason) {
     case QuarantineReason::kHouseholdFailure: return "household-failure";
     case QuarantineReason::kInjectedFault: return "injected-fault";
     case QuarantineReason::kInsufficientCoverage: return "insufficient-coverage";
+    case QuarantineReason::kChecksumMismatch: return "checksum-mismatch";
+    case QuarantineReason::kFormatMismatch: return "format-mismatch";
   }
   return "?";
 }
@@ -52,11 +54,12 @@ std::string QuarantineReport::summary() const {
   os << rows.size() << "/" << total() << " quarantined";
   if (rows.empty()) return os.str();
   // Enumerate reasons in taxonomy order so the summary is deterministic.
-  constexpr std::array<QuarantineReason, 7> kAll{
+  constexpr std::array<QuarantineReason, 9> kAll{
       QuarantineReason::kMalformedRow,     QuarantineReason::kWrongFieldCount,
       QuarantineReason::kBadValue,         QuarantineReason::kDuplicateKey,
       QuarantineReason::kHouseholdFailure, QuarantineReason::kInjectedFault,
-      QuarantineReason::kInsufficientCoverage};
+      QuarantineReason::kInsufficientCoverage,
+      QuarantineReason::kChecksumMismatch, QuarantineReason::kFormatMismatch};
   os << " (";
   bool first = true;
   for (const auto reason : kAll) {

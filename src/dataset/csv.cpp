@@ -1,5 +1,6 @@
 #include "dataset/csv.h"
 
+#include <array>
 #include <cmath>
 #include <charconv>
 #include <cstdint>
@@ -29,10 +30,14 @@ std::string quote(const std::string& s) {
 }
 
 std::string fmt(double v) {
-  std::ostringstream os;
-  os.precision(12);
-  os << v;
-  return os.str();
+  // Shortest decimal that round-trips: to_double(fmt(v)) == v bit-exactly
+  // for every finite v (and NaN/inf survive as "nan"/"inf"). The previous
+  // 12-significant-digit formatting silently lost the low bits of every
+  // double, so write -> read -> write was not a fixed point.
+  std::array<char, 32> buf;
+  const auto [ptr, ec] = std::to_chars(buf.data(), buf.data() + buf.size(), v);
+  require(ec == std::errc{}, "csv: double format failed");
+  return std::string{buf.data(), ptr};
 }
 
 double to_double(const std::string& s) {

@@ -8,6 +8,7 @@
 
 #include "behavior/caps.h"
 #include "core/error.h"
+#include "core/hash.h"
 #include "core/logging.h"
 #include "core/thread_pool.h"
 #include "measurement/pipeline.h"
@@ -30,6 +31,32 @@ std::vector<const UserRecord*> StudyDataset::dasu_in(const std::string& country)
     if (r.country_code == country) out.push_back(&r);
   }
   return out;
+}
+
+void StudyConfig::fingerprint(core::Hasher& hasher) const {
+  hasher.update_string("dataset::StudyConfig");
+  hasher.update_u64(seed);
+  // threads intentionally not hashed: output is thread-count invariant.
+  hasher.update_double(population_scale);
+  hasher.update_double(window_days);
+  hasher.update_double(dasu_bin_s);
+  hasher.update_u64(fcc_users);
+  hasher.update_double(fcc_window_days);
+  hasher.update_i64(first_year);
+  hasher.update_i64(last_year);
+  hasher.update_double(upgrade_follow_share);
+  hasher.update_i64(upgrade_horizon_years);
+  hasher.update_double(exogenous_upgrade_share);
+  hasher.update_double(annual_subscriber_growth);
+  hasher.update_double(annual_need_growth);
+  faults.fingerprint(hasher);
+  hasher.update_double(max_household_failure_rate);
+  hasher.update_u64(coverage.min_samples);
+  hasher.update_double(coverage.min_days);
+  hasher.update_bool(placebo);
+  hasher.update_bool(disable_capacity_effect);
+  hasher.update_bool(disable_pressure_effect);
+  hasher.update_bool(disable_quality_effect);
 }
 
 StudyGenerator::StudyGenerator(const market::World& world, StudyConfig config)

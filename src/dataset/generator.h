@@ -28,6 +28,10 @@
 #include "measurement/ndt.h"
 #include "netsim/workload.h"
 
+namespace bblab::core {
+class Hasher;
+}
+
 namespace bblab::dataset {
 
 /// Per-country market state shared by generation and analysis.
@@ -89,6 +93,15 @@ struct StudyConfig {
   bool disable_capacity_effect{false};
   bool disable_pressure_effect{false};
   bool disable_quality_effect{false};
+
+  /// Feed every generation-relevant knob into a fingerprint hasher — the
+  /// simulation cache's view of this config. `threads` is deliberately
+  /// excluded: the dataset is bit-identical at any thread count (PR 1's
+  /// guarantee), so runs differing only in parallelism share one cache
+  /// entry. `coverage` IS included even though it is applied downstream:
+  /// it travels inside StudyDataset::config, so a snapshot must not be
+  /// shared between runs that would disagree about it.
+  void fingerprint(core::Hasher& hasher) const;
 };
 
 /// Everything the analysis layer consumes.

@@ -75,6 +75,10 @@ struct UserRecord {
     return capacity.bps() > 0 ? usage.peak_down_no_bt.bps() / capacity.bps() : 0.0;
   }
   [[nodiscard]] bool capped() const { return monthly_cap > 0; }
+
+  /// Field-wise equality (IEEE semantics: a NaN upgrade_cost_per_mbps
+  /// never compares equal; use store::content_hash for bit-level checks).
+  friend bool operator==(const UserRecord&, const UserRecord&) = default;
 };
 
 /// A user observed on two services: the before/after pair behind the
@@ -93,6 +97,8 @@ struct UpgradeObservation {
   measurement::UsageSummary after;
 
   [[nodiscard]] bool is_upgrade() const { return new_capacity > old_capacity; }
+
+  friend bool operator==(const UpgradeObservation&, const UpgradeObservation&) = default;
 };
 
 }  // namespace bblab::dataset

@@ -6,6 +6,7 @@
 #include <string>
 
 #include "core/error.h"
+#include "core/hash.h"
 
 namespace bblab::faults {
 
@@ -67,6 +68,23 @@ std::string FaultPlan::summary() const {
   emit("truncate", row_truncate_probability);
   emit("fail", household_failure_probability);
   return os.str();
+}
+
+void FaultPlan::fingerprint(core::Hasher& hasher) const {
+  hasher.update_string("faults::FaultPlan");
+  hasher.update_u64(seed);
+  hasher.update_double(churn_probability);
+  hasher.update_double(mean_outage_hours);
+  hasher.update_double(blackout_probability);
+  hasher.update_double(mean_blackout_hours);
+  hasher.update_double(reset_probability);
+  hasher.update_double(spurious_wrap_probability);
+  hasher.update_double(clock_skew_probability);
+  hasher.update_double(max_clock_skew_s);
+  hasher.update_double(row_duplicate_probability);
+  hasher.update_double(row_corrupt_probability);
+  hasher.update_double(row_truncate_probability);
+  hasher.update_double(household_failure_probability);
 }
 
 FaultPlan FaultPlan::parse(const std::string& spec) {

@@ -22,6 +22,10 @@
 
 #include "core/rng.h"
 
+namespace bblab::core {
+class Hasher;
+}
+
 namespace bblab::faults {
 
 struct FaultPlan {
@@ -65,6 +69,11 @@ struct FaultPlan {
 
   /// "churn=0.1 blackout=0.05 ..." — only the non-zero knobs.
   [[nodiscard]] std::string summary() const;
+
+  /// Feed every knob (seed included, declaration order) into a
+  /// fingerprint hasher — the simulation cache's view of this plan. Two
+  /// plans fingerprint equal iff they inject identical faults.
+  void fingerprint(core::Hasher& hasher) const;
 
   /// Parse a "key=value,key=value" spec on top of `base` (defaults when
   /// omitted). Keys: churn, outage_h, blackout, blackout_h, reset, wrap,

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "core/error.h"
+#include "core/hash.h"
 
 namespace bblab::market {
 
@@ -69,6 +70,35 @@ World World::subset(std::span<const std::string> codes) const {
   picked.reserve(codes.size());
   for (const auto& code : codes) picked.push_back(at(code));
   return World{std::move(picked)};
+}
+
+void CountryProfile::fingerprint(core::Hasher& hasher) const {
+  hasher.update_string("market::CountryProfile");
+  hasher.update_string(code);
+  hasher.update_string(name);
+  hasher.update_u32(static_cast<std::uint32_t>(region));
+  hasher.update_double(gdp_per_capita_ppp);
+  hasher.update_string(currency.code());
+  hasher.update_double(currency.units_per_usd_market());
+  hasher.update_double(currency.units_per_usd_ppp());
+  hasher.update_double(access_price.dollars());
+  hasher.update_double(upgrade_cost_per_mbps);
+  hasher.update_double(max_capacity.bps());
+  hasher.update_double(typical_capacity.bps());
+  hasher.update_double(price_noise_sigma);
+  hasher.update_double(dedicated_share);
+  hasher.update_double(base_rtt_ms);
+  hasher.update_double(rtt_log_sigma);
+  hasher.update_double(base_loss);
+  hasher.update_double(loss_log_sigma);
+  hasher.update_double(wireless_share);
+  hasher.update_double(sample_weight);
+}
+
+void World::fingerprint(core::Hasher& hasher) const {
+  hasher.update_string("market::World");
+  hasher.update_u64(countries_.size());
+  for (const auto& country : countries_) country.fingerprint(hasher);
 }
 
 namespace {

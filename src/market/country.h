@@ -19,6 +19,10 @@
 #include "core/units.h"
 #include "market/currency.h"
 
+namespace bblab::core {
+class Hasher;
+}
+
 namespace bblab::market {
 
 /// Regions as aggregated in Table 5 of the paper (Asia split into
@@ -70,6 +74,10 @@ struct CountryProfile {
     const double monthly_income = gdp_per_capita_ppp / 12.0;
     return monthly_income > 0 ? access_price.dollars() / monthly_income : 0.0;
   }
+
+  /// Feed every market-shaping field (declaration order) into a
+  /// fingerprint hasher; part of the simulation cache key.
+  void fingerprint(core::Hasher& hasher) const;
 };
 
 /// An immutable collection of country profiles with lookups.
@@ -94,6 +102,10 @@ class World {
 
   /// Restrict to a subset of ISO codes (for focused case studies).
   [[nodiscard]] World subset(std::span<const std::string> codes) const;
+
+  /// Fingerprint of every profile in order — two Worlds hash equal iff
+  /// they generate identical markets.
+  void fingerprint(core::Hasher& hasher) const;
 
  private:
   std::vector<CountryProfile> countries_;

@@ -6,8 +6,27 @@
 #include <string>
 
 #include "core/error.h"
+#include "core/hash.h"
 
 namespace bblab::measurement {
+
+void fingerprint(core::Hasher& hasher, const HouseholdTask& task) {
+  hasher.update_string("measurement::HouseholdTask");
+  hasher.update_double(task.workload.intensity);
+  hasher.update_double(task.workload.heavy_intensity);
+  hasher.update_double(task.workload.bt_sessions_per_day);
+  hasher.update_double(task.workload.phase_shift_hours);
+  hasher.update_double(task.workload.video_top_mbps);
+  hasher.update_double(task.link.down.bps());
+  hasher.update_double(task.link.up.bps());
+  hasher.update_double(task.link.rtt_ms);
+  hasher.update_double(task.link.loss);
+  hasher.update_double(task.t0);
+  hasher.update_u64(task.bins);
+  hasher.update_double(task.bin_width_s);
+  hasher.update_u32(static_cast<std::uint32_t>(task.collector));
+  hasher.update_u64(task.stream_id);
+}
 
 void apply_faults(UsageSeries& series, const faults::HouseholdFaults& household) {
   if (household.empty()) return;

@@ -23,7 +23,19 @@
 #include "netsim/fluid.h"
 #include "netsim/workload.h"
 
+namespace bblab::core {
+class Hasher;
+}
+
 namespace bblab::measurement {
+
+/// Version of the household-simulation semantics. The content-addressed
+/// simulation cache mixes this into every fingerprint, so cached results
+/// are invalidated whenever the simulated behavior changes even though
+/// the configs hash equal. Bump it on ANY change that alters the output
+/// of simulate_household for a fixed (toolkit, task, rng) — workload
+/// generation, fluid dynamics, collector sampling, fault application.
+inline constexpr std::uint32_t kPipelineSemanticsVersion = 1;
 
 enum class CollectorKind {
   kDasu,     ///< 30 s end-host byte counters (availability-biased)
@@ -42,6 +54,12 @@ struct HouseholdTask {
   /// with the same id see identical randomness; scheduling never matters.
   std::uint64_t stream_id{0};
 };
+
+/// Feed every simulation-relevant field of a task into a fingerprint
+/// hasher. Together with kPipelineSemanticsVersion and the RNG base this
+/// addresses a household's simulated output — the cache lookup key for
+/// batches run through parallel_simulate_households.
+void fingerprint(core::Hasher& hasher, const HouseholdTask& task);
 
 struct HouseholdResult {
   netsim::BinnedUsage truth;  ///< simulator ground truth

@@ -45,6 +45,10 @@ struct UsageSummary {
                ? 1.0 - static_cast<double>(samples_no_bt) / static_cast<double>(samples)
                : 0.0;
   }
+
+  /// Field-wise equality (IEEE semantics: NaN != NaN). Snapshot tests
+  /// that need bit-level equality compare store::content_hash instead.
+  friend bool operator==(const UsageSummary&, const UsageSummary&) = default;
 };
 
 [[nodiscard]] UsageSummary summarize(const UsageSeries& series);

@@ -1,0 +1,108 @@
+// The .bbs binary columnar snapshot format.
+//
+// A snapshot is a durable, re-queryable serialization of a full
+// StudyDataset — user records, plan catalogs, upgrade observations, the
+// quarantine ledger, and the generating config — so figures, tables and
+// scorecards can reload a simulated panel in milliseconds instead of
+// re-simulating it. Design goals, in order:
+//
+//   1. Lossless: doubles round-trip bit-exactly (NaN payloads and -0.0
+//      included), so a reloaded dataset is indistinguishable from the
+//      fresh simulation it snapshotted.
+//   2. Corruption-safe: every byte of the file is covered by either a
+//      validated constant (magics, version, endian tag) or a 64-bit
+//      checksum (section payloads, footer). Any single-byte flip is
+//      detected and surfaces as a typed SnapshotError — never a crash,
+//      never silently wrong data.
+//   3. Columnar: big sections store one field across all records
+//      contiguously, and the reader decodes column-at-a-time straight
+//      into the destination vector — no intermediate row objects, and
+//      peak transient memory is one section buffer, not the file.
+//   4. Seekable: a footer index maps section name -> (offset, size,
+//      checksum), so `bblab cat` and partial readers locate any section
+//      in O(1) without scanning the file.
+//
+// All multi-byte values are explicitly little-endian; the file is
+// byte-identical across host endianness and the header carries an endian
+// tag as a tripwire for foreign writers. See DESIGN.md §6 for the exact
+// on-disk layout.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/error.h"
+#include "dataset/generator.h"
+
+namespace bblab::store {
+
+/// On-disk format version. Bump on any layout change; readers reject
+/// other versions (kFormatMismatch) rather than guessing.
+inline constexpr std::uint32_t kFormatVersion = 1;
+
+/// Typed rejection: what exactly is wrong with a snapshot, expressed in
+/// the same QuarantineReason taxonomy lenient ingest uses —
+/// kFormatMismatch for framing/magic/version damage, kChecksumMismatch
+/// for payload damage, kBadValue for well-framed but semantically
+/// invalid content (unknown enum value, unknown country code).
+class SnapshotError : public IoError {
+ public:
+  SnapshotError(QuarantineReason reason, const std::string& message)
+      : IoError{std::string{quarantine_reason_label(reason)} + ": " + message},
+        reason_{reason} {}
+
+  [[nodiscard]] QuarantineReason reason() const { return reason_; }
+
+ private:
+  QuarantineReason reason_;
+};
+
+/// Serialize a full dataset. The stream must be binary-mode.
+void write_snapshot(std::ostream& out, const dataset::StudyDataset& ds);
+
+/// Atomic file write: serialize to `<path>.tmp` in the same directory,
+/// then rename over `path` — a crashed writer never leaves a torn
+/// snapshot where a reader (or the cache) will find one.
+void write_snapshot_file(const std::filesystem::path& path,
+                         const dataset::StudyDataset& ds);
+
+/// Deserialize a snapshot. MarketSnapshot::country pointers are rebound
+/// into `world` (a snapshot referencing a country the world does not
+/// contain is rejected with kBadValue). The stream must be seekable.
+/// Throws SnapshotError on any corruption or version mismatch.
+[[nodiscard]] dataset::StudyDataset read_snapshot(
+    std::istream& in, const market::World& world = market::World::builtin());
+
+[[nodiscard]] dataset::StudyDataset read_snapshot_file(
+    const std::filesystem::path& path,
+    const market::World& world = market::World::builtin());
+
+/// Footer-index entry, exposed for `bblab cat` and tests.
+struct SectionInfo {
+  std::string name;
+  std::uint64_t offset{0};
+  std::uint64_t size{0};
+  std::uint64_t checksum{0};
+};
+
+struct SnapshotInfo {
+  std::uint32_t version{0};
+  std::uint64_t file_size{0};
+  std::vector<SectionInfo> sections;
+};
+
+/// Read only the header + footer index (O(1) in file size). Verifies
+/// framing and the footer checksum but not section payloads.
+[[nodiscard]] SnapshotInfo inspect_snapshot(std::istream& in);
+
+/// Order-sensitive bit-level content hash of a dataset: every field is
+/// hashed by exact bit pattern (NaNs and -0.0 preserved, unlike
+/// fingerprint hashing which canonicalizes). Two datasets hash equal iff
+/// a snapshot round-trip of one reproduces the other exactly — the
+/// equality the cache's byte-identical-output guarantee rests on.
+[[nodiscard]] std::uint64_t content_hash(const dataset::StudyDataset& ds);
+
+}  // namespace bblab::store

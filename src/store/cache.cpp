@@ -1,0 +1,106 @@
+#include "store/cache.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <iostream>
+#include <system_error>
+#include <utility>
+
+#include "core/error.h"
+#include "store/bbs.h"
+
+namespace bblab::store {
+
+namespace {
+
+std::optional<std::string> env(const char* name) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return std::nullopt;
+  return std::string{v};
+}
+
+}  // namespace
+
+ArtifactCache::ArtifactCache(std::filesystem::path root) : root_{std::move(root)} {
+  require(!root_.empty(), "ArtifactCache: empty root directory");
+}
+
+std::filesystem::path ArtifactCache::default_root() {
+  if (const auto dir = env("BBLAB_CACHE_DIR")) return *dir;
+  if (const auto xdg = env("XDG_CACHE_HOME")) {
+    return std::filesystem::path{*xdg} / "bblab";
+  }
+  if (const auto home = env("HOME")) {
+    return std::filesystem::path{*home} / ".cache" / "bblab";
+  }
+  return std::filesystem::path{".bblab_cache"};
+}
+
+std::filesystem::path ArtifactCache::entry_path(const Fingerprint& key) const {
+  const std::string hex = key.hex();
+  return root_ / "objects" / hex.substr(0, 2) / (hex.substr(2) + ".bbs");
+}
+
+std::optional<dataset::StudyDataset> ArtifactCache::load(
+    const Fingerprint& key, const market::World& world) const {
+  const std::filesystem::path path = entry_path(key);
+  std::error_code ec;
+  if (!std::filesystem::exists(path, ec) || ec) return std::nullopt;
+  try {
+    return read_snapshot_file(path, world);
+  } catch (const std::exception& e) {
+    // A damaged entry must never fail the run — evict it and resimulate.
+    std::cerr << "bblab: warning: evicting unreadable cache entry " << path
+              << " (" << e.what() << ")\n";
+    std::filesystem::remove(path, ec);
+    return std::nullopt;
+  }
+}
+
+std::filesystem::path ArtifactCache::store(const Fingerprint& key,
+                                           const dataset::StudyDataset& ds) const {
+  const std::filesystem::path path = entry_path(key);
+  write_snapshot_file(path, ds);  // creates parents, writes tmp, renames
+  return path;
+}
+
+std::vector<CacheEntry> ArtifactCache::list() const {
+  std::vector<CacheEntry> entries;
+  const std::filesystem::path objects = root_ / "objects";
+  std::error_code ec;
+  if (!std::filesystem::is_directory(objects, ec) || ec) return entries;
+  for (const auto& shard :
+       std::filesystem::directory_iterator{objects, ec}) {
+    if (ec || !shard.is_directory()) continue;
+    const std::string prefix = shard.path().filename().string();
+    for (const auto& file : std::filesystem::directory_iterator{shard.path(), ec}) {
+      if (ec || !file.is_regular_file() || file.path().extension() != ".bbs") {
+        continue;
+      }
+      const auto key = Fingerprint::from_hex(prefix + file.path().stem().string());
+      if (!key) continue;
+      std::error_code size_ec;
+      const auto size = std::filesystem::file_size(file.path(), size_ec);
+      entries.push_back({*key, file.path(), size_ec ? 0 : size});
+    }
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const CacheEntry& a, const CacheEntry& b) { return a.key < b.key; });
+  return entries;
+}
+
+bool ArtifactCache::remove(const Fingerprint& key) const {
+  std::error_code ec;
+  return std::filesystem::remove(entry_path(key), ec) && !ec;
+}
+
+std::size_t ArtifactCache::clear() const {
+  std::size_t removed = 0;
+  for (const auto& entry : list()) {
+    std::error_code ec;
+    if (std::filesystem::remove(entry.path, ec) && !ec) ++removed;
+  }
+  return removed;
+}
+
+}  // namespace bblab::store

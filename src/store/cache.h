@@ -1,0 +1,76 @@
+// Content-addressed simulation artifact cache.
+//
+// Simulating a full study panel takes seconds to minutes; loading its
+// snapshot takes milliseconds. The cache closes that loop: datasets are
+// stored as .bbs snapshots named by their generation fingerprint
+// (store::dataset_fingerprint), so any CLI run with `--cache` that asks
+// for a (config, world) pair someone already simulated gets the stored
+// bytes back — bit-identical to a fresh run at any thread count, because
+// the fingerprint canonicalizes away parallelism and the snapshot format
+// is lossless.
+//
+// Robustness policy: a cache must never be able to make a run wrong.
+// A corrupt or truncated entry (detected by the snapshot checksums) is
+// warned about, removed, and treated as a miss; concurrent writers are
+// safe because snapshots are published by atomic rename.
+#pragma once
+
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dataset/generator.h"
+#include "store/fingerprint.h"
+
+namespace bblab::store {
+
+/// One cache entry as listed by `bblab cache ls`.
+struct CacheEntry {
+  Fingerprint key;
+  std::filesystem::path path;
+  std::uintmax_t size_bytes{0};
+};
+
+class ArtifactCache {
+ public:
+  /// Cache rooted at an explicit directory (created lazily on store()).
+  explicit ArtifactCache(std::filesystem::path root);
+
+  /// Resolve the default cache root: $BBLAB_CACHE_DIR, else
+  /// $XDG_CACHE_HOME/bblab, else $HOME/.cache/bblab, else ./.bblab_cache.
+  [[nodiscard]] static std::filesystem::path default_root();
+
+  [[nodiscard]] const std::filesystem::path& root() const { return root_; }
+
+  /// Path an entry for `key` would live at (objects/<2 hex>/<30 hex>.bbs;
+  /// the two-digit fan-out keeps directories small at scale).
+  [[nodiscard]] std::filesystem::path entry_path(const Fingerprint& key) const;
+
+  /// Load the dataset for `key`. Returns nullopt on a miss. A present but
+  /// unreadable entry (corruption, truncation, version skew) is reported
+  /// to stderr, deleted, and treated as a miss — never propagated.
+  [[nodiscard]] std::optional<dataset::StudyDataset> load(
+      const Fingerprint& key,
+      const market::World& world = market::World::builtin()) const;
+
+  /// Store `ds` under `key` (atomic: temp file + rename). Returns the
+  /// entry path.
+  std::filesystem::path store(const Fingerprint& key,
+                              const dataset::StudyDataset& ds) const;
+
+  /// All entries, sorted by key for stable `cache ls` output. Files that
+  /// do not look like cache entries are ignored.
+  [[nodiscard]] std::vector<CacheEntry> list() const;
+
+  /// Remove one entry; true if it existed.
+  bool remove(const Fingerprint& key) const;
+
+  /// Remove every entry; returns how many were removed.
+  std::size_t clear() const;
+
+ private:
+  std::filesystem::path root_;
+};
+
+}  // namespace bblab::store

@@ -1,0 +1,52 @@
+// Canonical simulation fingerprints.
+//
+// The content-addressed cache needs a stable 128-bit name for "the dataset
+// this (config, world) pair would generate". The name must be:
+//
+//   - Canonical: semantically identical inputs hash equal. Doubles are
+//     canonicalized by core::Hasher::update_double (-0.0 -> +0.0, every
+//     NaN -> one quiet NaN), strings are length-prefixed, and
+//     StudyConfig::threads is excluded — parallelism does not change the
+//     output (PR 1's determinism guarantee), so runs differing only in
+//     thread count share a cache entry.
+//   - Version-aware: the fingerprint mixes in the snapshot format
+//     version, this schema version, and measurement's
+//     kPipelineSemanticsVersion, so cache entries are invalidated when
+//     the file layout, the hashed field set, or the simulated behavior
+//     changes — without anyone having to remember to clear caches.
+//   - Collision-resistant enough for a cache: two independent 64-bit FNV
+//     streams with distinct seeds. A collision serves a wrong dataset,
+//     so 64 bits (birthday bound ~2^32) is not comfortable; 128 is.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "dataset/generator.h"
+#include "market/country.h"
+
+namespace bblab::store {
+
+/// Bump when the set or order of fingerprinted fields changes (e.g. a new
+/// StudyConfig knob): old cache entries name a different computation.
+inline constexpr std::uint32_t kFingerprintSchemaVersion = 1;
+
+/// A 128-bit content address, rendered as 32 lowercase hex digits.
+struct Fingerprint {
+  std::uint64_t hi{0};
+  std::uint64_t lo{0};
+
+  [[nodiscard]] std::string hex() const;
+  /// Parse 32 hex digits; nullopt on anything else.
+  [[nodiscard]] static std::optional<Fingerprint> from_hex(const std::string& hex);
+
+  friend auto operator<=>(const Fingerprint&, const Fingerprint&) = default;
+};
+
+/// The cache key for StudyGenerator{world, config}.generate().
+[[nodiscard]] Fingerprint dataset_fingerprint(const dataset::StudyConfig& config,
+                                              const market::World& world);
+
+}  // namespace bblab::store

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
 #include <sstream>
 
 #include "core/error.h"
@@ -210,6 +214,117 @@ TEST(UpgradesCsv, RoundTrips) {
 
 TEST(UpgradesCsv, RejectsWrongHeader) {
   EXPECT_THROW(read_upgrades("a,b\n"), InvalidArgument);
+}
+
+bool bits_equal(double a, double b) {
+  return std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b);
+}
+
+TEST(UserRecordsCsv, DoublesRoundTripBitExactly) {
+  // Values chosen to break fixed-precision formatting: non-terminating
+  // binary fractions, numbers needing all 17 significant digits,
+  // subnormal-adjacent magnitudes, and the NaN that a weak price-capacity
+  // correlation legitimately puts in upgrade_cost_per_mbps.
+  UserRecord r = sample_record();
+  r.capacity = Rate::from_bps(1.0 / 3.0);
+  r.upload_capacity = Rate::from_bps(std::nextafter(2.2e6, 3e6));
+  r.rtt_ms = 0.1 + 0.2;  // 0.30000000000000004
+  r.loss = 1e-300;
+  r.access_price = MoneyPpp::usd(19.989999999999998);
+  r.upgrade_cost_per_mbps = std::numeric_limits<double>::quiet_NaN();
+  r.gdp_per_capita_ppp = 49797.123456789017;
+  r.true_need_mbps = std::nextafter(12.0, 13.0);
+
+  std::ostringstream os;
+  write_user_records(os, {r});
+  const auto back = read_user_records(os.str());
+  ASSERT_EQ(back.size(), 1u);
+  EXPECT_TRUE(bits_equal(back[0].capacity.bps(), r.capacity.bps()));
+  EXPECT_TRUE(bits_equal(back[0].upload_capacity.bps(), r.upload_capacity.bps()));
+  EXPECT_TRUE(bits_equal(back[0].rtt_ms, r.rtt_ms));
+  EXPECT_TRUE(bits_equal(back[0].loss, r.loss));
+  EXPECT_TRUE(bits_equal(back[0].access_price.dollars(), r.access_price.dollars()));
+  EXPECT_TRUE(std::isnan(back[0].upgrade_cost_per_mbps));
+  EXPECT_TRUE(bits_equal(back[0].gdp_per_capita_ppp, r.gdp_per_capita_ppp));
+  EXPECT_TRUE(bits_equal(back[0].true_need_mbps, r.true_need_mbps));
+}
+
+TEST(UserRecordsCsv, WriteReadWriteIsAFixedPoint) {
+  // The lossless-formatting contract, stated as idempotence: serializing
+  // what we just parsed must reproduce the file byte for byte.
+  UserRecord a = sample_record();
+  a.capacity = Rate::from_bps(1.0 / 3.0);
+  a.rtt_ms = 0.30000000000000004;
+  a.loss = 1e-300;
+  UserRecord b = sample_record();
+  b.user_id = 43;
+  b.gdp_per_capita_ppp = 1.0 / 7.0;
+  b.upgrade_cost_per_mbps = std::numeric_limits<double>::quiet_NaN();
+
+  std::ostringstream first;
+  write_user_records(first, {a, b});
+  std::ostringstream second;
+  write_user_records(second, read_user_records(first.str()));
+  EXPECT_EQ(first.str(), second.str());
+}
+
+TEST(UpgradesCsv, WriteReadWriteIsAFixedPoint) {
+  UpgradeObservation u;
+  u.user_id = 9;
+  u.country_code = "JP";
+  u.year = 2012;
+  u.old_capacity = Rate::from_bps(8.0e6 / 3.0);
+  u.new_capacity = Rate::from_bps(std::nextafter(16e6, 17e6));
+  u.old_price = MoneyPpp::usd(29.990000000000002);
+  u.new_price = MoneyPpp::usd(38);
+  u.before.mean_down = Rate::from_kbps(0.1 + 0.2);
+  u.before.samples = 1000;
+  u.after.peak_down = Rate::from_kbps(1.0 / 3.0);
+  u.after.samples = 1100;
+
+  std::ostringstream first;
+  write_upgrades(first, {u});
+  std::ostringstream second;
+  write_upgrades(second, read_upgrades(first.str()));
+  EXPECT_EQ(first.str(), second.str());
+}
+
+TEST(UserRecordsCsv, AdversarialStringsSurviveQuoting) {
+  // Strings a hostile (or merely international) plan survey could carry:
+  // separators, quotes, both newline flavors, and a BOM *inside* a field
+  // (only a file-leading BOM may be stripped).
+  const std::vector<std::string> nasty{
+      "US,EU",                      // embedded separator
+      "say \"hi\"",                 // embedded quotes
+      "two\nlines",                 // LF inside a field
+      "cr\rlf\r\n mix",             // CR and CRLF inside a field
+      "\xEF\xBB\xBF" "BOM-leading", // must not be treated as a file BOM
+      ",\",\r\n\"",                 // everything at once
+  };
+  std::vector<UserRecord> records;
+  for (std::size_t i = 0; i < nasty.size(); ++i) {
+    UserRecord r = sample_record();
+    r.user_id = i;
+    r.country_code = nasty[i];
+    records.push_back(r);
+  }
+
+  std::ostringstream os;
+  write_user_records(os, records);
+  const auto back = read_user_records(os.str());
+  ASSERT_EQ(back.size(), nasty.size());
+  for (std::size_t i = 0; i < nasty.size(); ++i) {
+    EXPECT_EQ(back[i].country_code, nasty[i]) << "field " << i;
+    EXPECT_EQ(back[i].user_id, i);
+  }
+
+  // And the strict reader agrees with the lenient one on this input.
+  const auto lenient = read_user_records_lenient(os.str());
+  ASSERT_EQ(lenient.records.size(), nasty.size());
+  EXPECT_TRUE(lenient.quarantine.empty());
+  for (std::size_t i = 0; i < nasty.size(); ++i) {
+    EXPECT_EQ(lenient.records[i].country_code, nasty[i]);
+  }
 }
 
 TEST(PlansCsv, UnmeteredCapStaysEmpty) {

@@ -1,0 +1,131 @@
+#include "core/hash.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace bblab::core {
+namespace {
+
+TEST(Hasher, DeterministicAndSeedSensitive) {
+  const auto digest = [](std::uint64_t seed, const std::string& s) {
+    Hasher h{seed};
+    h.update_string(s);
+    return h.digest();
+  };
+  EXPECT_EQ(digest(0, "abc"), digest(0, "abc"));
+  EXPECT_NE(digest(0, "abc"), digest(1, "abc"));
+  EXPECT_NE(digest(0, "abc"), digest(0, "abd"));
+  EXPECT_NE(digest(0, ""), digest(1, ""));
+}
+
+TEST(Hasher, DigestIsNonDestructive) {
+  Hasher h;
+  h.update_u64(7);
+  const auto first = h.digest();
+  EXPECT_EQ(first, h.digest());
+  h.update_u64(8);
+  EXPECT_NE(first, h.digest());
+}
+
+TEST(Hasher, EverySingleByteFlipChangesTheDigest) {
+  // FNV-1a's absorb step and the splitmix64 finalizer are both bijections
+  // of the 64-bit state, so two inputs of equal length differing in one
+  // byte can never collide. This is the property the snapshot checksums
+  // lean on; check it exhaustively for every position x bit of a message.
+  std::string msg = "broadband markets and the behavior of users";
+  const std::uint64_t clean = hash_bytes(msg.data(), msg.size());
+  for (std::size_t i = 0; i < msg.size(); ++i) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string damaged = msg;
+      damaged[i] = static_cast<char>(damaged[i] ^ (1 << bit));
+      EXPECT_NE(hash_bytes(damaged.data(), damaged.size()), clean)
+          << "byte " << i << " bit " << bit;
+    }
+  }
+}
+
+TEST(Hasher, ChunkingDoesNotMatter) {
+  const std::string msg = "stream me in pieces";
+  Hasher whole;
+  whole.update(msg.data(), msg.size());
+  Hasher pieces;
+  for (const char c : msg) pieces.update(&c, 1);
+  EXPECT_EQ(whole.digest(), pieces.digest());
+}
+
+TEST(Hasher, LengthPrefixedStringsDoNotConcatenate) {
+  // ("ab", "c") must hash differently from ("a", "bc") — the classic
+  // ambiguity a raw concatenating hasher has.
+  Hasher a;
+  a.update_string("ab");
+  a.update_string("c");
+  Hasher b;
+  b.update_string("a");
+  b.update_string("bc");
+  EXPECT_NE(a.digest(), b.digest());
+}
+
+TEST(Hasher, DoubleCanonicalization) {
+  const auto digest = [](double v) {
+    Hasher h;
+    h.update_double(v);
+    return h.digest();
+  };
+  // Semantically equal doubles hash equal...
+  EXPECT_EQ(digest(0.0), digest(-0.0));
+  EXPECT_EQ(digest(std::numeric_limits<double>::quiet_NaN()),
+            digest(-std::numeric_limits<double>::quiet_NaN()));
+  EXPECT_EQ(digest(std::nan("0x5")), digest(std::nan("0x7")));
+  // ...distinct ones do not.
+  EXPECT_NE(digest(1.0), digest(std::nextafter(1.0, 2.0)));
+  EXPECT_NE(digest(0.0), digest(std::numeric_limits<double>::denorm_min()));
+  EXPECT_NE(digest(std::numeric_limits<double>::infinity()),
+            digest(std::numeric_limits<double>::max()));
+}
+
+TEST(Hasher, IntegerUpdatesAreTyped) {
+  Hasher small;
+  small.update_u32(7);
+  Hasher wide;
+  wide.update_u64(7);
+  EXPECT_NE(small.digest(), wide.digest());
+
+  Hasher negative;
+  negative.update_i64(-1);
+  Hasher positive;
+  positive.update_i64(1);
+  EXPECT_NE(negative.digest(), positive.digest());
+}
+
+TEST(Hasher, AvalancheOnSmallInputs) {
+  // Consecutive small integers should produce well-scattered digests:
+  // with the splitmix64 finalizer, no two of 10k consecutive inputs
+  // should collide and the high bits should actually vary.
+  std::set<std::uint64_t> digests;
+  std::set<std::uint64_t> top_bytes;
+  for (std::uint64_t i = 0; i < 10000; ++i) {
+    Hasher h;
+    h.update_u64(i);
+    const auto d = h.digest();
+    digests.insert(d);
+    top_bytes.insert(d >> 56);
+  }
+  EXPECT_EQ(digests.size(), 10000u);
+  EXPECT_GT(top_bytes.size(), 200u);  // 256 possible; expect most to appear
+}
+
+TEST(HashBytes, MatchesStreamingHasher) {
+  const std::string msg = "one-shot equals streaming";
+  Hasher h{99};
+  h.update(msg.data(), msg.size());
+  EXPECT_EQ(hash_bytes(msg.data(), msg.size(), 99), h.digest());
+}
+
+}  // namespace
+}  // namespace bblab::core

@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# End-to-end check of the snapshot + cache subsystem through the CLI:
+#   1. `generate --cache` output is byte-identical to an uncached run, and
+#      runs at 1, 2 and 8 threads all hit the SAME cache entry and produce
+#      byte-identical CSVs (parallelism is excluded from the cache key).
+#   2. pack -> cat round-trips; cat on a corrupted snapshot fails with a
+#      typed error and a non-zero exit, never a crash.
+#   3. cache ls / rm KEY / rm all manage entries as advertised.
+set -u
+
+BBLAB=$1
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+export BBLAB_CACHE_DIR="$WORK/cache"
+ARGS="--seed 99 --scale 0.02 --days 0.3"
+fails=0
+
+fail() {
+  echo "FAIL: $*"
+  fails=1
+}
+
+# --- 1. cache hits are byte-identical across thread counts -----------------
+"$BBLAB" generate $ARGS --out "$WORK/plain" >/dev/null 2>&1 \
+  || { echo "FAIL: baseline generate"; exit 1; }
+for t in 1 2 8; do
+  "$BBLAB" generate $ARGS --cache --threads "$t" --out "$WORK/t$t" \
+    >/dev/null 2>"$WORK/log$t" || fail "generate --cache --threads $t"
+done
+grep -q "cache miss" "$WORK/log1" || fail "first cached run was not a miss"
+grep -q "cache hit" "$WORK/log2" || fail "second run did not hit the cache"
+grep -q "cache hit" "$WORK/log8" || fail "third run did not hit the cache"
+for t in 1 2 8; do
+  diff -r "$WORK/plain" "$WORK/t$t" >/dev/null \
+    || fail "--cache --threads $t output differs from uncached run"
+done
+entries=$("$BBLAB" cache ls | sed '$d' | wc -l)
+[ "$entries" -eq 1 ] || fail "expected 1 cache entry for 3 runs, got $entries"
+
+# --- 2. pack / cat / corruption rejection ----------------------------------
+"$BBLAB" pack "$WORK/snap.bbs" $ARGS --cache >/dev/null 2>&1 || fail "pack"
+"$BBLAB" cat "$WORK/snap.bbs" >"$WORK/cat.out" 2>/dev/null || fail "cat"
+grep -q "bbs format v1" "$WORK/cat.out" || fail "cat: missing format banner"
+for section in config dasu fcc upgrades markets qc; do
+  grep -q "^$section " "$WORK/cat.out" || fail "cat: missing section $section"
+done
+grep -q "records: dasu=" "$WORK/cat.out" || fail "cat: missing record counts"
+
+python3 - "$WORK/snap.bbs" <<'EOF'
+import sys
+path = sys.argv[1]
+data = bytearray(open(path, 'rb').read())
+data[len(data) // 2] ^= 0x20  # flip one payload bit mid-file
+open(path, 'wb').write(data)
+EOF
+if "$BBLAB" cat "$WORK/snap.bbs" >/dev/null 2>"$WORK/cat.err"; then
+  fail "cat accepted a corrupted snapshot"
+fi
+grep -q "error:" "$WORK/cat.err" || fail "corrupted cat: no typed error message"
+
+# --- 3. cache ls / rm ------------------------------------------------------
+key=$("$BBLAB" cache ls | head -n 1 | cut -d' ' -f1)
+[ -n "$key" ] || fail "cache ls printed no key"
+"$BBLAB" cache rm "$key" >/dev/null || fail "cache rm $key"
+"$BBLAB" cache rm "$key" >/dev/null 2>&1 && fail "cache rm of absent key succeeded"
+"$BBLAB" cache rm not-a-key >/dev/null 2>&1 && fail "cache rm accepted a malformed key"
+"$BBLAB" generate $ARGS --cache --out "$WORK/repop" >/dev/null 2>&1
+"$BBLAB" cache rm all >/dev/null || fail "cache rm all"
+entries=$("$BBLAB" cache ls | sed '$d' | wc -l)
+[ "$entries" -eq 0 ] || fail "cache not empty after rm all"
+
+if [ "$fails" -ne 0 ]; then
+  exit 1
+fi
+echo "PASS: cache byte-identical across threads; pack/cat/rm behave"

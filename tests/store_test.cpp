@@ -1,0 +1,444 @@
+#include "store/bbs.h"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/hash.h"
+#include "dataset/generator.h"
+#include "measurement/pipeline.h"
+#include "store/cache.h"
+#include "store/fingerprint.h"
+
+namespace bblab::store {
+namespace {
+
+/// A tiny but fully-populated dataset that exercises every section,
+/// including the values operator== cannot check (NaN, -0.0) and a
+/// non-empty quarantine ledger.
+dataset::StudyDataset make_tiny() {
+  dataset::StudyDataset ds;
+  ds.config.seed = 77;
+  ds.config.threads = 3;
+  ds.config.population_scale = 0.25;
+  ds.config.faults.churn_probability = 0.125;
+  ds.config.placebo = true;
+
+  dataset::UserRecord r;
+  r.user_id = 1;
+  r.source = dataset::Source::kDasu;
+  r.country_code = "US";
+  r.region = market::Region::kNorthAmerica;
+  r.year = 2012;
+  r.capacity = Rate::from_bps(1.0 / 3.0);
+  r.rtt_ms = 43.5;
+  r.loss = -0.0;  // sign bit must survive
+  r.upgrade_cost_per_mbps = std::numeric_limits<double>::quiet_NaN();
+  r.archetype = behavior::Archetype::kBtHeavy;
+  r.bt_user = true;
+  ds.dasu.push_back(r);
+  r.user_id = 2;
+  r.source = dataset::Source::kFcc;
+  r.country_code = "with,comma \"quoted\"\nand newline";
+  ds.fcc.push_back(r);
+
+  dataset::UpgradeObservation u;
+  u.user_id = 2;
+  u.country_code = "JP";
+  u.year = 2013;
+  u.old_capacity = Rate::from_mbps(8);
+  u.new_capacity = Rate::from_mbps(16);
+  u.before.mean_down = Rate::from_kbps(0.1 + 0.2);
+  u.before.samples = 11;
+  u.after.peak_down = Rate::from_kbps(2400);
+  u.after.samples_no_bt = 7;
+  ds.upgrades.push_back(u);
+
+  dataset::MarketSnapshot snap;
+  snap.country = &market::World::builtin().at("US");
+  market::ServicePlan plan;
+  plan.isp = "Acme";
+  plan.country_code = "US";
+  plan.download = Rate::from_mbps(50);
+  plan.upload = Rate::from_mbps(10);
+  plan.monthly_price = MoneyPpp::usd(49.99);
+  plan.monthly_cap = 250 * kGiB;
+  plan.tech = market::AccessTech::kCable;
+  snap.catalog = market::PlanCatalog{{plan}};
+  snap.choice = market::ChoiceModel{1.25};
+  snap.access_price = MoneyPpp::usd(19.99);
+  snap.upgrade_cost_per_mbps = std::numeric_limits<double>::quiet_NaN();
+  snap.price_capacity_r = 0.3;
+  ds.markets.emplace("US", std::move(snap));
+
+  ds.qc.note_admitted(5);
+  ds.qc.add(3, QuarantineReason::kMalformedRow, "raw,text\"", "unterminated");
+  ds.qc.add(9, QuarantineReason::kInjectedFault, "stream 9", "planned failure");
+  return ds;
+}
+
+std::string serialized(const dataset::StudyDataset& ds) {
+  std::ostringstream os;
+  write_snapshot(os, ds);
+  return os.str();
+}
+
+TEST(Snapshot, RoundTripIsBitLossless) {
+  const auto ds = make_tiny();
+  std::istringstream in{serialized(ds)};
+  const auto back = read_snapshot(in);
+
+  EXPECT_EQ(content_hash(back), content_hash(ds));
+  // Spot-check what content_hash asserts, including what operator== cannot.
+  EXPECT_EQ(back.config.seed, 77u);
+  EXPECT_EQ(back.config.threads, 3u);
+  EXPECT_TRUE(back.config.placebo);
+  ASSERT_EQ(back.dasu.size(), 1u);
+  EXPECT_TRUE(std::isnan(back.dasu[0].upgrade_cost_per_mbps));
+  EXPECT_TRUE(std::signbit(back.dasu[0].loss));
+  ASSERT_EQ(back.fcc.size(), 1u);
+  EXPECT_EQ(back.fcc[0].country_code, "with,comma \"quoted\"\nand newline");
+  EXPECT_EQ(back.upgrades, ds.upgrades);
+  ASSERT_EQ(back.markets.size(), 1u);
+  const auto& snap = back.markets.at("US");
+  EXPECT_EQ(snap.country, &market::World::builtin().at("US"));
+  EXPECT_TRUE(std::isnan(snap.upgrade_cost_per_mbps));
+  EXPECT_DOUBLE_EQ(snap.choice.wtp_multiplier(), 1.25);
+  ASSERT_EQ(snap.catalog.size(), 1u);
+  EXPECT_EQ(snap.catalog.plans()[0].monthly_cap, 250 * kGiB);
+  ASSERT_EQ(back.qc.rows.size(), 2u);
+  EXPECT_EQ(back.qc.admitted, 5u);
+  EXPECT_EQ(back.qc.rows[0].reason, QuarantineReason::kMalformedRow);
+  EXPECT_EQ(back.qc.rows[1].detail, "planned failure");
+}
+
+TEST(Snapshot, GeneratedDatasetRoundTrips) {
+  dataset::StudyConfig config;
+  config.seed = 5;
+  config.population_scale = 0.01;
+  config.window_days = 0.2;
+  config.fcc_users = 20;
+  config.last_year = config.first_year;
+  const auto ds =
+      dataset::StudyGenerator{market::World::builtin(), config}.generate();
+  ASSERT_FALSE(ds.dasu.empty());
+
+  std::istringstream in{serialized(ds)};
+  const auto back = read_snapshot(in);
+  EXPECT_EQ(content_hash(back), content_hash(ds));
+  EXPECT_EQ(back.markets.size(), ds.markets.size());
+}
+
+TEST(Snapshot, EveryByteFlipIsDetected) {
+  const std::string clean = serialized(make_tiny());
+  {
+    std::istringstream in{clean};
+    EXPECT_NO_THROW((void)read_snapshot(in));
+  }
+  // Flip a low and a high bit of every byte of the file. Whatever the
+  // byte encodes — magic, version, section payload, footer, trailer —
+  // the reader must reject the file with a typed error, never crash or
+  // silently return different data.
+  std::size_t checked = 0;
+  for (std::size_t i = 0; i < clean.size(); ++i) {
+    for (const unsigned char mask : {0x01, 0x80}) {
+      std::string damaged = clean;
+      damaged[i] = static_cast<char>(damaged[i] ^ mask);
+      std::istringstream in{damaged};
+      EXPECT_THROW((void)read_snapshot(in), SnapshotError)
+          << "flip survived at byte " << i << " mask " << int(mask);
+      ++checked;
+    }
+  }
+  EXPECT_EQ(checked, clean.size() * 2);
+}
+
+TEST(Snapshot, TruncationIsDetected) {
+  const std::string clean = serialized(make_tiny());
+  for (const std::size_t keep :
+       {std::size_t{0}, std::size_t{1}, std::size_t{15}, std::size_t{16},
+        clean.size() / 2, clean.size() - 1}) {
+    std::istringstream in{clean.substr(0, keep)};
+    EXPECT_THROW((void)read_snapshot(in), SnapshotError) << "kept " << keep;
+  }
+}
+
+TEST(Snapshot, ErrorsCarryTypedReasons) {
+  const std::string clean = serialized(make_tiny());
+
+  std::string wrong_magic = clean;
+  wrong_magic[0] = 'X';
+  std::istringstream m{wrong_magic};
+  try {
+    (void)read_snapshot(m);
+    FAIL() << "bad magic accepted";
+  } catch (const SnapshotError& e) {
+    EXPECT_EQ(e.reason(), QuarantineReason::kFormatMismatch);
+  }
+
+  std::string future_version = clean;
+  future_version[12] = 9;  // version field, little-endian first byte
+  std::istringstream v{future_version};
+  try {
+    (void)read_snapshot(v);
+    FAIL() << "future version accepted";
+  } catch (const SnapshotError& e) {
+    EXPECT_EQ(e.reason(), QuarantineReason::kFormatMismatch);
+  }
+
+  std::string payload_damage = clean;
+  payload_damage[20] ^= 0x40;  // inside the config section payload
+  std::istringstream p{payload_damage};
+  try {
+    (void)read_snapshot(p);
+    FAIL() << "payload damage accepted";
+  } catch (const SnapshotError& e) {
+    EXPECT_EQ(e.reason(), QuarantineReason::kChecksumMismatch);
+  }
+}
+
+TEST(Snapshot, UnknownCountryIsRejectedAsBadValue) {
+  auto ds = make_tiny();
+  auto node = ds.markets.extract("US");
+  node.key() = "ZZ";  // no such country in the builtin world
+  ds.markets.insert(std::move(node));
+  std::istringstream in{serialized(ds)};
+  try {
+    (void)read_snapshot(in);
+    FAIL() << "unknown country accepted";
+  } catch (const SnapshotError& e) {
+    EXPECT_EQ(e.reason(), QuarantineReason::kBadValue);
+  }
+}
+
+TEST(Snapshot, InspectListsAllSectionsInOrder) {
+  const std::string bytes = serialized(make_tiny());
+  std::istringstream in{bytes};
+  const auto info = inspect_snapshot(in);
+  EXPECT_EQ(info.version, kFormatVersion);
+  EXPECT_EQ(info.file_size, bytes.size());
+  const std::vector<std::string> want{"config", "dasu",    "fcc",
+                                      "upgrades", "markets", "qc"};
+  ASSERT_EQ(info.sections.size(), want.size());
+  std::uint64_t offset = 16;  // header size
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(info.sections[i].name, want[i]);
+    EXPECT_EQ(info.sections[i].offset, offset);
+    offset += info.sections[i].size;
+  }
+}
+
+TEST(Snapshot, FileRoundTripAndAtomicity) {
+  const auto dir = std::filesystem::path{::testing::TempDir()} / "bbs_file_test";
+  const auto path = dir / "nested" / "snap.bbs";
+  const auto ds = make_tiny();
+  write_snapshot_file(path, ds);
+  EXPECT_FALSE(std::filesystem::exists(path.string() + ".tmp"));
+  const auto back = read_snapshot_file(path);
+  EXPECT_EQ(content_hash(back), content_hash(ds));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ContentHash, SensitiveToEveryPart) {
+  const auto base = make_tiny();
+  const auto h = content_hash(base);
+
+  auto ds = base;
+  ds.config.seed ^= 1;
+  EXPECT_NE(content_hash(ds), h);
+
+  ds = base;
+  ds.dasu[0].usage.samples += 1;
+  EXPECT_NE(content_hash(ds), h);
+
+  ds = base;
+  ds.upgrades[0].after.samples_no_bt += 1;
+  EXPECT_NE(content_hash(ds), h);
+
+  ds = base;
+  ds.qc.rows[0].detail += "!";
+  EXPECT_NE(content_hash(ds), h);
+
+  ds = base;
+  ds.markets.at("US").price_capacity_r += 0.1;
+  EXPECT_NE(content_hash(ds), h);
+
+  // NaN-carrying datasets still hash stably (operator== could not even
+  // compare these records to themselves).
+  EXPECT_EQ(content_hash(base), h);
+}
+
+TEST(Fingerprint, HexRoundTrip) {
+  const Fingerprint fp{0x0123456789ABCDEFull, 0xFEDCBA9876543210ull};
+  EXPECT_EQ(fp.hex(), "0123456789abcdeffedcba9876543210");
+  const auto parsed = Fingerprint::from_hex(fp.hex());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, fp);
+
+  EXPECT_FALSE(Fingerprint::from_hex("").has_value());
+  EXPECT_FALSE(Fingerprint::from_hex("012345").has_value());
+  EXPECT_FALSE(
+      Fingerprint::from_hex("0123456789abcdeffedcba987654321G").has_value());
+  EXPECT_FALSE(
+      Fingerprint::from_hex("0123456789ABCDEFFEDCBA9876543210").has_value());
+}
+
+TEST(Fingerprint, KeysSimulationInputsNotParallelism) {
+  const auto& world = market::World::builtin();
+  dataset::StudyConfig config;
+  config.seed = 11;
+  const auto base = dataset_fingerprint(config, world);
+  EXPECT_EQ(dataset_fingerprint(config, world), base);
+
+  // threads is explicitly NOT part of the key: output is thread-invariant.
+  auto threads = config;
+  threads.threads = 8;
+  EXPECT_EQ(dataset_fingerprint(threads, world), base);
+
+  auto seed = config;
+  seed.seed = 12;
+  EXPECT_NE(dataset_fingerprint(seed, world), base);
+
+  auto scale = config;
+  scale.population_scale *= 2;
+  EXPECT_NE(dataset_fingerprint(scale, world), base);
+
+  auto faulted = config;
+  faulted.faults.row_corrupt_probability = 0.01;
+  EXPECT_NE(dataset_fingerprint(faulted, world), base);
+
+  auto ablated = config;
+  ablated.disable_quality_effect = true;
+  EXPECT_NE(dataset_fingerprint(ablated, world), base);
+
+  auto coverage = config;
+  coverage.coverage.min_samples += 1;
+  EXPECT_NE(dataset_fingerprint(coverage, world), base);
+
+  const std::vector<std::string> codes{"US", "JP"};
+  const auto small_world = world.subset(codes);
+  EXPECT_NE(dataset_fingerprint(config, small_world), base);
+}
+
+TEST(Fingerprint, HouseholdTaskFingerprintIsFieldSensitive) {
+  const auto digest = [](const measurement::HouseholdTask& task) {
+    core::Hasher h;
+    measurement::fingerprint(h, task);
+    return h.digest();
+  };
+  measurement::HouseholdTask task;
+  task.bins = 100;
+  task.stream_id = 4;
+  const auto base = digest(task);
+  EXPECT_EQ(digest(task), base);
+
+  auto stream = task;
+  stream.stream_id = 5;
+  EXPECT_NE(digest(stream), base);
+
+  auto load = task;
+  load.workload.intensity += 0.5;
+  EXPECT_NE(digest(load), base);
+
+  auto link = task;
+  link.link.down = Rate::from_mbps(99);
+  EXPECT_NE(digest(link), base);
+
+  auto collector = task;
+  collector.collector = measurement::CollectorKind::kGateway;
+  EXPECT_NE(digest(collector), base);
+}
+
+class CacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = std::filesystem::path{::testing::TempDir()} /
+            ("bblab_cache_test_" + std::to_string(::getpid()));
+    std::filesystem::remove_all(root_);
+  }
+  void TearDown() override { std::filesystem::remove_all(root_); }
+
+  std::filesystem::path root_;
+};
+
+TEST_F(CacheTest, MissThenHit) {
+  const ArtifactCache cache{root_};
+  const Fingerprint key{1, 2};
+  EXPECT_FALSE(cache.load(key).has_value());
+
+  const auto ds = make_tiny();
+  const auto path = cache.store(key, ds);
+  EXPECT_TRUE(std::filesystem::exists(path));
+
+  const auto hit = cache.load(key);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(content_hash(*hit), content_hash(ds));
+  EXPECT_FALSE(cache.load(Fingerprint{1, 3}).has_value());
+}
+
+TEST_F(CacheTest, CorruptEntryIsEvictedAndTreatedAsMiss) {
+  const ArtifactCache cache{root_};
+  const Fingerprint key{7, 7};
+  const auto path = cache.store(key, make_tiny());
+
+  // Damage one payload byte in place.
+  {
+    std::fstream f{path, std::ios::in | std::ios::out | std::ios::binary};
+    f.seekp(40);
+    char c{};
+    f.seekg(40);
+    f.get(c);
+    f.seekp(40);
+    f.put(static_cast<char>(c ^ 0x10));
+  }
+  EXPECT_FALSE(cache.load(key).has_value());
+  // The poisoned entry must be gone so the next store repopulates it.
+  EXPECT_FALSE(std::filesystem::exists(path));
+  cache.store(key, make_tiny());
+  EXPECT_TRUE(cache.load(key).has_value());
+}
+
+TEST_F(CacheTest, ListRemoveClear) {
+  const ArtifactCache cache{root_};
+  EXPECT_TRUE(cache.list().empty());
+  const auto ds = make_tiny();
+  cache.store(Fingerprint{2, 1}, ds);
+  cache.store(Fingerprint{1, 1}, ds);
+  cache.store(Fingerprint{0xAB00000000000000ull, 5}, ds);
+
+  const auto entries = cache.list();
+  ASSERT_EQ(entries.size(), 3u);
+  // Sorted by key for stable `cache ls` output.
+  EXPECT_EQ(entries[0].key, (Fingerprint{1, 1}));
+  EXPECT_EQ(entries[1].key, (Fingerprint{2, 1}));
+  EXPECT_EQ(entries[2].key, (Fingerprint{0xAB00000000000000ull, 5}));
+  for (const auto& e : entries) EXPECT_GT(e.size_bytes, 0u);
+
+  EXPECT_TRUE(cache.remove(Fingerprint{1, 1}));
+  EXPECT_FALSE(cache.remove(Fingerprint{1, 1}));
+  EXPECT_EQ(cache.list().size(), 2u);
+  EXPECT_EQ(cache.clear(), 2u);
+  EXPECT_TRUE(cache.list().empty());
+}
+
+TEST_F(CacheTest, DefaultRootHonorsEnvOverride) {
+  ::setenv("BBLAB_CACHE_DIR", root_.c_str(), 1);
+  EXPECT_EQ(ArtifactCache::default_root(), root_);
+  ::unsetenv("BBLAB_CACHE_DIR");
+  const auto fallback = ArtifactCache::default_root();
+  EXPECT_NE(fallback, root_);
+  EXPECT_FALSE(fallback.empty());
+}
+
+}  // namespace
+}  // namespace bblab::store

@@ -5,6 +5,9 @@
 //   bblab ingest <users.csv>          lenient CSV ingest with a QC report
 //   bblab experiment <name> [options] run one of the paper's experiments
 //   bblab figure <name> [options]     print one of the paper's figures
+//   bblab pack <out.bbs> [options]    synthesize a dataset to a binary snapshot
+//   bblab cat <file.bbs>              inspect and verify a binary snapshot
+//   bblab cache <ls|rm KEY...|rm all> manage the simulation artifact cache
 //
 // Common options:
 //   --seed N        generator seed            (default 2014)
@@ -14,6 +17,8 @@
 //   --faults SPEC   fault-injection plan, e.g. "churn=0.2,corrupt=0.05"
 //   --qc-report     print the quarantine/QC table after generation
 //   --placebo       disable all planted causal effects
+//   --cache         reuse/populate the content-addressed simulation cache
+//   --cache-dir DIR cache root (default $BBLAB_CACHE_DIR or ~/.cache/bblab)
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -31,6 +36,9 @@
 #include "dataset/generator.h"
 #include "faults/fault_plan.h"
 #include "market/catalog.h"
+#include "store/bbs.h"
+#include "store/cache.h"
+#include "store/fingerprint.h"
 
 namespace {
 
@@ -44,6 +52,8 @@ struct CliOptions {
   std::string out{"bblab_out"};
   std::string faults;  ///< FaultPlan::parse spec; empty = clean run
   bool qc_report{false};
+  bool cache{false};
+  std::string cache_dir;  ///< empty = ArtifactCache::default_root()
   bool placebo{false};
   bool markdown{false};
   std::vector<std::string> positional;
@@ -58,8 +68,12 @@ int usage() {
          "  experiment <tab1|tab2|tab3|tab5|tab6|tab7|tab8>\n"
          "  figure <fig1|fig2|fig6|fig10>\n"
          "  scorecard [--markdown]       run every paper-claim check\n"
+         "  pack <out.bbs>               synthesize a dataset to a binary snapshot\n"
+         "  cat <file.bbs>               inspect and verify a binary snapshot\n"
+         "  cache <ls|rm KEY...|rm all>  manage the simulation artifact cache\n"
          "common: --seed N --scale X --days X --threads N --placebo\n"
-         "        --faults SPEC (e.g. \"churn=0.2,corrupt=0.05\") --qc-report\n";
+         "        --faults SPEC (e.g. \"churn=0.2,corrupt=0.05\") --qc-report\n"
+         "        --cache --cache-dir DIR\n";
   return 2;
 }
 
@@ -93,6 +107,13 @@ bool parse(int argc, char** argv, CliOptions& options) {
       const char* v = next();
       if (v == nullptr) return false;
       options.faults = v;
+    } else if (arg == "--cache") {
+      options.cache = true;
+    } else if (arg == "--cache-dir") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options.cache_dir = v;
+      options.cache = true;
     } else if (arg == "--qc-report") {
       options.qc_report = true;
     } else if (arg == "--placebo") {
@@ -109,7 +130,7 @@ bool parse(int argc, char** argv, CliOptions& options) {
   return true;
 }
 
-dataset::StudyDataset make_dataset(const CliOptions& options) {
+dataset::StudyConfig study_config(const CliOptions& options) {
   dataset::StudyConfig config;
   config.seed = options.seed;
   config.threads = options.threads;
@@ -122,6 +143,35 @@ dataset::StudyDataset make_dataset(const CliOptions& options) {
     faults::FaultPlan base;
     base.seed = options.seed;
     config.faults = faults::FaultPlan::parse(options.faults, base);
+  }
+  return config;
+}
+
+store::ArtifactCache open_cache(const CliOptions& options) {
+  return store::ArtifactCache{options.cache_dir.empty()
+                                  ? store::ArtifactCache::default_root()
+                                  : std::filesystem::path{options.cache_dir}};
+}
+
+dataset::StudyDataset make_dataset(const CliOptions& options) {
+  const auto config = study_config(options);
+  if (options.cache) {
+    const auto cache = open_cache(options);
+    const auto key = store::dataset_fingerprint(config, market::World::builtin());
+    if (auto hit = cache.load(key)) {
+      std::cerr << "cache hit " << key.hex() << "\n";
+      // Parallelism is excluded from the key; restore the requested value
+      // so a cache hit is indistinguishable from a fresh run.
+      hit->config.threads = config.threads;
+      if (options.qc_report) analysis::print_quarantine(std::cerr, hit->qc);
+      return *std::move(hit);
+    }
+    std::cerr << "cache miss " << key.hex() << "; generating dataset (seed "
+              << config.seed << ", scale " << config.population_scale << ")...\n";
+    auto ds = dataset::StudyGenerator{market::World::builtin(), config}.generate();
+    cache.store(key, ds);
+    if (options.qc_report) analysis::print_quarantine(std::cerr, ds.qc);
+    return ds;
   }
   std::cerr << "generating dataset (seed " << config.seed << ", scale "
             << config.population_scale << ")...\n";
@@ -217,6 +267,11 @@ int cmd_ingest(const CliOptions& options) {
 int cmd_experiment(const CliOptions& options) {
   if (options.positional.empty()) return usage();
   const std::string which = options.positional.front();
+  // Validate the name before paying for dataset generation.
+  if (which != "tab1" && which != "tab2" && which != "tab3" && which != "tab5" &&
+      which != "tab6" && which != "tab7" && which != "tab8") {
+    return usage();
+  }
   const auto ds = make_dataset(options);
   auto& out = std::cout;
 
@@ -261,6 +316,9 @@ int cmd_experiment(const CliOptions& options) {
 int cmd_figure(const CliOptions& options) {
   if (options.positional.empty()) return usage();
   const std::string which = options.positional.front();
+  if (which != "fig1" && which != "fig2" && which != "fig6" && which != "fig10") {
+    return usage();
+  }
   const auto ds = make_dataset(options);
   auto& out = std::cout;
 
@@ -291,6 +349,87 @@ int cmd_figure(const CliOptions& options) {
   return 0;
 }
 
+int cmd_pack(const CliOptions& options) {
+  if (options.positional.empty()) return usage();
+  const std::filesystem::path out{options.positional.front()};
+  const auto ds = make_dataset(options);
+  store::write_snapshot_file(out, ds);
+  std::cout << "packed " << ds.dasu.size() << " + " << ds.fcc.size()
+            << " user records, " << ds.upgrades.size() << " upgrade pairs, "
+            << ds.markets.size() << " markets into " << out << " ("
+            << std::filesystem::file_size(out) << " bytes)\n";
+  return 0;
+}
+
+int cmd_cat(const CliOptions& options) {
+  if (options.positional.empty()) return usage();
+  const std::filesystem::path path{options.positional.front()};
+  std::ifstream in{path, std::ios::binary};
+  if (!in) {
+    std::cerr << "cannot open " << path << "\n";
+    return 1;
+  }
+  const auto info = store::inspect_snapshot(in);
+  std::cout << "bbs format v" << info.version << ", " << info.file_size
+            << " bytes, " << info.sections.size() << " sections\n";
+  std::printf("%-10s %10s %12s  %s\n", "section", "offset", "bytes", "checksum");
+  for (const auto& s : info.sections) {
+    std::printf("%-10s %10llu %12llu  %016llx\n", s.name.c_str(),
+                static_cast<unsigned long long>(s.offset),
+                static_cast<unsigned long long>(s.size),
+                static_cast<unsigned long long>(s.checksum));
+  }
+  // Full read: verifies every section checksum and decodes the payloads.
+  const auto ds = store::read_snapshot(in);
+  std::cout << "records: dasu=" << ds.dasu.size() << " fcc=" << ds.fcc.size()
+            << " upgrades=" << ds.upgrades.size()
+            << " markets=" << ds.markets.size() << "\n"
+            << "config: seed=" << ds.config.seed
+            << " scale=" << ds.config.population_scale
+            << " years=" << ds.config.first_year << ".." << ds.config.last_year
+            << "\nqc: " << ds.qc.summary() << "\n";
+  return 0;
+}
+
+int cmd_cache(const CliOptions& options) {
+  if (options.positional.empty()) return usage();
+  const auto cache = open_cache(options);
+  const std::string& sub = options.positional.front();
+  if (sub == "ls") {
+    const auto entries = cache.list();
+    for (const auto& e : entries) {
+      std::printf("%s  %10llu  %s\n", e.key.hex().c_str(),
+                  static_cast<unsigned long long>(e.size_bytes),
+                  e.path.string().c_str());
+    }
+    std::cout << entries.size() << " entries in " << cache.root() << "\n";
+    return 0;
+  }
+  if (sub == "rm") {
+    if (options.positional.size() < 2) return usage();
+    for (std::size_t i = 1; i < options.positional.size(); ++i) {
+      const std::string& what = options.positional[i];
+      if (what == "all") {
+        std::cout << "removed " << cache.clear() << " entries\n";
+        continue;
+      }
+      const auto key = store::Fingerprint::from_hex(what);
+      if (!key) {
+        std::cerr << "not a cache key (want 32 hex digits): " << what << "\n";
+        return 1;
+      }
+      if (cache.remove(*key)) {
+        std::cout << "removed " << what << "\n";
+      } else {
+        std::cerr << "no such entry: " << what << "\n";
+        return 1;
+      }
+    }
+    return 0;
+  }
+  return usage();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -306,6 +445,9 @@ int main(int argc, char** argv) {
     if (command == "ingest") return cmd_ingest(options);
     if (command == "experiment") return cmd_experiment(options);
     if (command == "figure") return cmd_figure(options);
+    if (command == "pack") return cmd_pack(options);
+    if (command == "cat") return cmd_cat(options);
+    if (command == "cache") return cmd_cache(options);
     if (command == "scorecard") {
       const auto ds = make_dataset(options);
       const auto card = analysis::run_scorecard(ds);
