@@ -138,11 +138,13 @@ struct Toolkit {
 };
 
 /// Simulate one observation window and summarize it through a collector.
+/// `ws` is the worker thread's reusable fluid-engine scratch state.
 measurement::UsageSummary observe(const Toolkit& kit, const StudyConfig& config,
                                   const AccessLink& link,
                                   const netsim::WorkloadParams& wp, SimTime t0,
                                   double window_days, double bin_s, bool gateway,
-                                  std::uint64_t stream_id, Rng& rng) {
+                                  std::uint64_t stream_id, Rng& rng,
+                                  netsim::FluidWorkspace& ws) {
   measurement::HouseholdTask task;
   task.stream_id = stream_id;  // keys this household's fault substream
   task.workload = wp;
@@ -153,7 +155,7 @@ measurement::UsageSummary observe(const Toolkit& kit, const StudyConfig& config,
   task.collector = gateway ? measurement::CollectorKind::kGateway
                            : measurement::CollectorKind::kDasu;
   (void)config;
-  return measurement::simulate_household(kit.pipeline(), task, rng).summary;
+  return measurement::simulate_household(kit.pipeline(), task, rng, &ws).summary;
 }
 
 /// What one simulated household contributes to the dataset. Slots are
@@ -169,10 +171,13 @@ struct UserOutcome {
 
 /// Wrap a per-user simulation body with failure isolation: an exception
 /// becomes a quarantined outcome instead of killing the whole run.
+/// `ws` is the calling worker's fluid workspace, forwarded to the body
+/// (run() resets it on entry, so a mid-simulation throw leaves no state).
 template <typename Body>
-UserOutcome guarded_user(std::uint64_t user_id, const Body& body) {
+UserOutcome guarded_user(std::uint64_t user_id, netsim::FluidWorkspace& ws,
+                         const Body& body) {
   try {
-    return body(user_id);
+    return body(user_id, ws);
   } catch (const InjectedFault& e) {
     UserOutcome out;
     out.failure = core::QuarantinedRow{static_cast<std::size_t>(user_id),
@@ -262,7 +267,8 @@ StudyDataset StudyGenerator::generate() const {
       // slots and are appended below in that order.
       const std::uint64_t base_id = next_user_id;
       next_user_id += n_users;
-      const auto simulate_user = [&](std::uint64_t user_id) -> UserOutcome {
+      const auto simulate_user = [&](std::uint64_t user_id,
+                                     netsim::FluidWorkspace& ws) -> UserOutcome {
         UserOutcome out;
         Rng rng = country_rng.fork(user_id);
 
@@ -296,7 +302,7 @@ StudyDataset StudyGenerator::generate() const {
 
         const auto summary = observe(kit, config_, link, wp, t0, config_.window_days,
                                      config_.dasu_bin_s, /*gateway=*/false, user_id,
-                                     rng);
+                                     rng, ws);
         const auto probe = kit.ndt.characterize(link, rng);
 
         UserRecord rec;
@@ -390,10 +396,10 @@ StudyDataset StudyGenerator::generate() const {
             obs.new_price = new_plan.monthly_price;
             obs.before = observe(kit, config_, link, before_wp, t_before,
                                  config_.window_days, config_.dasu_bin_s,
-                                 /*gateway=*/false, user_id, rng);
+                                 /*gateway=*/false, user_id, rng, ws);
             obs.after = observe(kit, config_, new_link, after_wp, t_after,
                                 config_.window_days, config_.dasu_bin_s,
-                                /*gateway=*/false, user_id, rng);
+                                /*gateway=*/false, user_id, rng, ws);
             out.upgrade = std::move(obs);
           }
         }
@@ -402,8 +408,11 @@ StudyDataset StudyGenerator::generate() const {
 
       std::vector<UserOutcome> outcomes(n_users);
       core::parallel_for(pool, n_users, [&](std::size_t begin, std::size_t end) {
+        // One fluid workspace per block: each worker simulates all its
+        // households allocation-free after the first warms the buffers.
+        netsim::FluidWorkspace ws;
         for (std::size_t u = begin; u < end; ++u) {
-          outcomes[u] = guarded_user(base_id + u, simulate_user);
+          outcomes[u] = guarded_user(base_id + u, ws, simulate_user);
         }
       });
       for (auto& out : outcomes) {
@@ -433,7 +442,8 @@ StudyDataset StudyGenerator::generate() const {
           static_cast<double>(yi) - static_cast<double>(years - 1) / 2.0);
       const std::uint64_t base_id = next_user_id;
       next_user_id += per_year;
-      const auto simulate_user = [&](std::uint64_t user_id) -> UserOutcome {
+      const auto simulate_user = [&](std::uint64_t user_id,
+                                     netsim::FluidWorkspace& ws) -> UserOutcome {
         UserOutcome out;
         Rng rng = fcc_rng.fork(user_id);
         const Archetype archetype = ArchetypeMix::fcc().sample(rng);
@@ -459,7 +469,7 @@ StudyDataset StudyGenerator::generate() const {
         const SimTime t0 = year_base + std::floor(rng.uniform(0.0, max_day)) * kDay;
         const auto summary =
             observe(kit, config_, link, wp, t0, config_.fcc_window_days,
-                    config_.dasu_bin_s, /*gateway=*/true, user_id, rng);
+                    config_.dasu_bin_s, /*gateway=*/true, user_id, rng, ws);
         const auto probe = kit.ndt.characterize(link, rng);
 
         UserRecord rec;
@@ -488,8 +498,9 @@ StudyDataset StudyGenerator::generate() const {
 
       std::vector<UserOutcome> outcomes(per_year);
       core::parallel_for(pool, per_year, [&](std::size_t begin, std::size_t end) {
+        netsim::FluidWorkspace ws;
         for (std::size_t u = begin; u < end; ++u) {
-          outcomes[u] = guarded_user(base_id + u, simulate_user);
+          outcomes[u] = guarded_user(base_id + u, ws, simulate_user);
         }
       });
       for (auto& out : outcomes) {

@@ -55,7 +55,8 @@ void apply_faults(UsageSeries& series, const faults::HouseholdFaults& household)
 }
 
 HouseholdResult simulate_household(const PipelineToolkit& kit,
-                                   const HouseholdTask& task, Rng& rng) {
+                                   const HouseholdTask& task, Rng& rng,
+                                   netsim::FluidWorkspace* workspace) {
   require(kit.workload != nullptr, "simulate_household: workload generator required");
   require(task.bins > 0, "simulate_household: need at least one bin");
   const SimTime t1 = task.t0 + static_cast<double>(task.bins) * task.bin_width_s;
@@ -72,7 +73,9 @@ HouseholdResult simulate_household(const PipelineToolkit& kit,
   HouseholdResult result;
   const auto flows = kit.workload->generate(task.workload, task.link, task.t0, t1, rng);
   const netsim::FluidLinkSimulator sim{task.link, kit.tcp, kit.fluid};
-  result.truth = sim.run(flows, task.t0, task.bins, task.bin_width_s);
+  netsim::FluidWorkspace local;
+  result.truth = sim.run(flows, task.t0, task.bins, task.bin_width_s,
+                         workspace != nullptr ? *workspace : local);
   if (task.collector == CollectorKind::kGateway) {
     require(kit.gateway != nullptr, "simulate_household: gateway collector required");
     result.series = kit.gateway->collect(result.truth);
@@ -91,9 +94,13 @@ std::vector<HouseholdResult> parallel_simulate_households(
     const Rng& base, core::ThreadPool& pool) {
   std::vector<HouseholdResult> results(tasks.size());
   core::parallel_for(pool, tasks.size(), [&](std::size_t begin, std::size_t end) {
+    // One fluid workspace per contiguous block (= per worker thread): the
+    // scratch buffers warm up on the first household and every later one
+    // in the block simulates allocation-free.
+    netsim::FluidWorkspace workspace;
     for (std::size_t i = begin; i < end; ++i) {
       Rng rng = base.fork(tasks[i].stream_id);
-      results[i] = simulate_household(kit, tasks[i], rng);
+      results[i] = simulate_household(kit, tasks[i], rng, &workspace);
     }
   });
   return results;
@@ -117,10 +124,11 @@ BatchResult parallel_simulate_households(const PipelineToolkit& kit,
   std::vector<std::uint8_t> injected(tasks.size(), 0);
   std::vector<std::string> errors(tasks.size());
   core::parallel_for(pool, tasks.size(), [&](std::size_t begin, std::size_t end) {
+    netsim::FluidWorkspace workspace;
     for (std::size_t i = begin; i < end; ++i) {
       Rng rng = base.fork(tasks[i].stream_id);
       try {
-        out.results[i] = simulate_household(kit, tasks[i], rng);
+        out.results[i] = simulate_household(kit, tasks[i], rng, &workspace);
       } catch (const InjectedFault& e) {
         out.results[i] = HouseholdResult{};
         out.results[i].failed = true;

@@ -94,9 +94,15 @@ void apply_faults(UsageSeries& series, const faults::HouseholdFaults& household)
 /// faults never perturb the simulation's randomness — and applied to the
 /// observed series; a household selected for hard failure throws
 /// InjectedFault.
+///
+/// `workspace` is the fluid engine's reusable scratch state: batch
+/// drivers pass one per worker thread so every household-window after the
+/// first runs with zero simulator allocations. Null falls back to a
+/// per-call workspace (identical output, just slower).
 [[nodiscard]] HouseholdResult simulate_household(const PipelineToolkit& kit,
-                                                 const HouseholdTask& task,
-                                                 Rng& rng);
+                                                 const HouseholdTask& task, Rng& rng,
+                                                 netsim::FluidWorkspace* workspace =
+                                                     nullptr);
 
 /// Simulate every task, sharded across `pool`, merging results in task
 /// order. Household i uses base.fork(tasks[i].stream_id); output is

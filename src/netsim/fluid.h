@@ -8,8 +8,23 @@
 // event-driven — state changes only at flow arrivals, completions, and
 // session expiries — and integrates exact per-flow rates into fixed-width
 // byte-count bins, which is precisely what the measurement layer samples.
+//
+// The event loop is the dominant cost of the whole system (every
+// household-window in every figure/table runs through it), so it is
+// engineered to be allocation-free in steady state: all scratch lives in
+// a caller-owned FluidWorkspace, the cap-sorted water-fill order is
+// maintained incrementally across events instead of re-sorted per step,
+// rates are recomputed only when the active set or a cap actually
+// changes, and TCP-achievable caps are memoized per (app, direction,
+// bloat) key. The output contract is byte-exact equality with the
+// straightforward recompute-everything engine (FluidOptions::
+// reference_engine), which tests/fluid_differential_test.cpp enforces on
+// randomized workloads — this is what keeps bbstore cache fingerprints
+// and thread-count determinism valid across the optimization.
 #pragma once
 
+#include <array>
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -47,19 +62,90 @@ struct BinnedUsage {
 };
 
 /// Water-filling allocation: distribute `capacity_bps` across flows with
-/// per-flow caps `caps_bps`, max-min fair. Returns per-flow rates.
-/// Exposed for unit testing.
+/// per-flow caps `caps_bps`, max-min fair. Ties in cap are processed in
+/// input order, so the result is a deterministic function of the input
+/// sequence. Returns per-flow rates. Exposed for unit testing.
 [[nodiscard]] std::vector<double> water_fill(double capacity_bps,
                                              std::span<const double> caps_bps);
 
 /// Optional realism extensions.
 struct FluidOptions {
-  /// Bufferbloat: when the downlink is saturated, the access queue fills
-  /// and every flow's RTT inflates by ~buffer_ms, re-throttling TCP-bound
-  /// flows. Off by default (the paper-period analysis does not need it);
-  /// bench/ext_bufferbloat quantifies its effect.
+  /// Bufferbloat: when a direction of the access link is saturated, its
+  /// queue fills and flow RTTs inflate by ~buffer_ms, re-throttling
+  /// TCP-bound flows. Off by default (the paper-period analysis does not
+  /// need it); bench/ext_bufferbloat quantifies its effect.
   bool bufferbloat{false};
   double buffer_ms{150.0};
+  /// Gate each direction's RTT inflation on that direction's own offered
+  /// load (upstream bufferbloat is the common DSL/cable case: a saturated
+  /// uplink bloats uploads even when the downlink idles). When false, the
+  /// legacy coupling applies: downlink saturation inflates both
+  /// directions, and uplink saturation is ignored.
+  bool per_direction_bloat{true};
+  /// Run the straightforward recompute-everything engine instead of the
+  /// incremental zero-allocation one. The two are byte-identical (the
+  /// differential property test enforces it); this flag exists so the
+  /// simple implementation stays alive as the test oracle and as a
+  /// bisection aid.
+  bool reference_engine{false};
+};
+
+/// Caller-owned scratch state for FluidLinkSimulator::run. One workspace
+/// serves any number of sequential run() calls (different flow sets,
+/// windows, even different simulators): every internal buffer is cleared
+/// but keeps its capacity, so after warm-up the event loop performs zero
+/// heap allocations. Not thread-safe — use one workspace per thread (the
+/// measurement pipeline creates one per parallel_for block).
+class FluidWorkspace {
+ public:
+  FluidWorkspace() = default;
+
+ private:
+  friend class FluidLinkSimulator;
+
+  /// One admitted flow. Slots live in a stable arena (never compacted
+  /// mid-run); the per-direction order vectors below index into it.
+  struct Slot {
+    const Flow* flow{nullptr};
+    double remaining_bytes{0.0};  ///< volume-bound flows (inf otherwise)
+    SimTime end_time{0.0};        ///< duration-bound flows (inf otherwise)
+    double cap_bps{0.0};
+    double rate_bps{0.0};
+    std::uint64_t seq{0};  ///< admission sequence; breaks cap ties stably
+    bool finished{false};
+  };
+
+  struct DirState {
+    std::vector<std::uint32_t> admit_order;  ///< slot ids, admission order
+    std::vector<std::uint32_t> cap_order;    ///< slot ids, ascending (cap, seq)
+    /// Set on admit / retire / cap change; water-fill rates are recomputed
+    /// only when this is set (identical values would be recomputed
+    /// otherwise, so skipping preserves byte-exact output).
+    bool dirty{false};
+
+    void clear() {
+      admit_order.clear();
+      cap_order.clear();
+      dirty = false;
+    }
+  };
+
+  void reset() {
+    slots_.clear();
+    free_slots_.clear();
+    down_.clear();
+    up_.clear();
+    cap_memo_valid_.fill(0);
+  }
+
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_slots_;
+  DirState down_;
+  DirState up_;
+  /// Memoized min(link capacity, TCP parallel throughput) keyed by
+  /// (app, direction, bloated): 6 x 2 x 2 entries, reset per run.
+  std::array<double, 24> cap_memo_{};
+  std::array<std::uint8_t, 24> cap_memo_valid_{};
 };
 
 class FluidLinkSimulator {
@@ -67,11 +153,20 @@ class FluidLinkSimulator {
   explicit FluidLinkSimulator(AccessLink link, TcpModel tcp = TcpModel{},
                               FluidOptions options = {});
 
-  /// Simulate `flows` (must be sorted by start time) over the window
-  /// [window_start, window_start + bins * bin_width) and return the binned
-  /// byte counters. Flows overlapping the window edges are clipped.
+  /// Simulate `flows` (must be sorted by start time; checked in debug
+  /// builds only — the workload generator emits sorted flows) over the
+  /// window [window_start, window_start + bins * bin_width) and return the
+  /// binned byte counters. Flows overlapping the window edges are clipped.
+  /// This overload allocates a fresh workspace per call; hot callers
+  /// should hold a FluidWorkspace and use the overload below.
   [[nodiscard]] BinnedUsage run(std::span<const Flow> flows, SimTime window_start,
                                 std::size_t bins, double bin_width_s = 30.0) const;
+
+  /// Workspace-reusing overload: identical output, zero steady-state
+  /// allocations once `workspace`'s buffers have warmed up.
+  [[nodiscard]] BinnedUsage run(std::span<const Flow> flows, SimTime window_start,
+                                std::size_t bins, double bin_width_s,
+                                FluidWorkspace& workspace) const;
 
   [[nodiscard]] const AccessLink& link() const { return link_; }
 
@@ -83,6 +178,18 @@ class FluidLinkSimulator {
   [[nodiscard]] const FluidOptions& options() const { return options_; }
 
  private:
+  [[nodiscard]] BinnedUsage run_incremental(std::span<const Flow> flows,
+                                            SimTime window_start, std::size_t bins,
+                                            double bin_width_s,
+                                            FluidWorkspace& ws) const;
+  [[nodiscard]] BinnedUsage run_reference(std::span<const Flow> flows,
+                                          SimTime window_start, std::size_t bins,
+                                          double bin_width_s) const;
+  /// min(link capacity, TCP parallel throughput) for an app/direction at
+  /// the given queueing delay — the memoizable part of flow_cap_bps.
+  [[nodiscard]] double path_cap_bps(AppKind app, Direction direction,
+                                    double extra_rtt_ms) const;
+
   AccessLink link_;
   TcpModel tcp_;
   FluidOptions options_;
