@@ -1,5 +1,6 @@
 #include "analysis/common.h"
 
+#include <algorithm>
 #include <cmath>
 
 namespace bblab::analysis {
@@ -54,6 +55,45 @@ std::vector<double> column(
   std::vector<double> out;
   out.reserve(records.size());
   for (const auto* r : records) out.push_back(get(*r));
+  return out;
+}
+
+RecordColumns extract_columns(std::span<const RecordPtr> records) {
+  RecordColumns cols;
+  const std::size_t n = records.size();
+  cols.capacity_mbps.reserve(n);
+  cols.rtt_ms.reserve(n);
+  cols.loss_pct.reserve(n);
+  cols.peak_utilization_no_bt.reserve(n);
+  cols.year.reserve(n);
+  cols.country.reserve(n);
+  cols.user_id.reserve(n);
+  for (const auto* r : records) {
+    cols.capacity_mbps.push_back(r->capacity.mbps());
+    cols.rtt_ms.push_back(r->rtt_ms);
+    cols.loss_pct.push_back(r->loss * 100.0);
+    cols.peak_utilization_no_bt.push_back(std::min(1.0, r->peak_utilization_no_bt()));
+    cols.year.push_back(static_cast<std::uint64_t>(r->year));
+    cols.country.push_back(pack_country(r->country_code));
+    cols.user_id.push_back(r->user_id);
+  }
+  return cols;
+}
+
+std::uint64_t pack_country(std::string_view code) {
+  std::uint64_t key = 0;
+  for (std::size_t i = 0; i < code.size() && i < 8; ++i) {
+    key |= static_cast<std::uint64_t>(static_cast<unsigned char>(code[i]))
+           << (8 * (7 - i));
+  }
+  return key;
+}
+
+std::vector<double> gather(std::span<const double> col,
+                           std::span<const std::uint32_t> idx) {
+  std::vector<double> out;
+  out.reserve(idx.size());
+  for (const std::uint32_t i : idx) out.push_back(col[i]);
   return out;
 }
 

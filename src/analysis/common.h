@@ -1,15 +1,18 @@
 // Shared plumbing for the per-figure/table analysis pipelines.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "causal/matching.h"
 #include "core/quarantine.h"
 #include "dataset/generator.h"
 #include "dataset/user_record.h"
+#include "stats/column.h"
 
 namespace bblab::analysis {
 
@@ -44,6 +47,34 @@ using RecordPtr = const dataset::UserRecord*;
 [[nodiscard]] std::vector<double> column(
     std::span<const RecordPtr> records,
     const std::function<double(const dataset::UserRecord&)>& get);
+
+/// Structure-of-arrays mirror of a filtered record set: the fields the
+/// distributional figures consume, extracted once in record order. Row i
+/// of every column is records[i] — the same column-major shape the `.bbs`
+/// snapshot sections use, so the batched kernels in stats/column.h
+/// (radix group-by, merge ECDF evaluation) apply directly instead of
+/// chasing UserRecord pointers per access.
+struct RecordColumns {
+  std::vector<double> capacity_mbps;
+  std::vector<double> rtt_ms;
+  std::vector<double> loss_pct;                 ///< loss * 100
+  std::vector<double> peak_utilization_no_bt;   ///< clamped to 1.0
+  std::vector<std::uint64_t> year;
+  std::vector<std::uint64_t> country;           ///< pack_country(country_code)
+  std::vector<std::uint64_t> user_id;
+
+  [[nodiscard]] std::size_t size() const { return capacity_mbps.size(); }
+};
+
+[[nodiscard]] RecordColumns extract_columns(std::span<const RecordPtr> records);
+
+/// ISO country code as a radix-sortable u64 key (big-endian byte packing,
+/// so u64 order == lexicographic order on the code).
+[[nodiscard]] std::uint64_t pack_country(std::string_view code);
+
+/// Gather col[i] for each i in `idx` (a GroupBy segment or filter result).
+[[nodiscard]] std::vector<double> gather(std::span<const double> col,
+                                         std::span<const std::uint32_t> idx);
 
 /// Build matching units: outcome + covariates per record. Records where
 /// any covariate is NaN are skipped (e.g. undefined market upgrade cost).

@@ -46,13 +46,12 @@ BinSeries bin_usage_series(
 
 Fig1Result fig1_characteristics(const dataset::StudyDataset& ds) {
   const auto records = dasu_records(ds);
+  // One pointer-chasing pass into SoA columns, then three contiguous sorts.
+  const auto cols = extract_columns(records);
   Fig1Result fig;
-  fig.capacity_mbps = stats::Ecdf{
-      column(records, [](const UserRecord& r) { return r.capacity.mbps(); })};
-  fig.latency_ms =
-      stats::Ecdf{column(records, [](const UserRecord& r) { return r.rtt_ms; })};
-  fig.loss_pct =
-      stats::Ecdf{column(records, [](const UserRecord& r) { return r.loss * 100.0; })};
+  fig.capacity_mbps = stats::Ecdf{cols.capacity_mbps};
+  fig.latency_ms = stats::Ecdf{cols.rtt_ms};
+  fig.loss_pct = stats::Ecdf{cols.loss_pct};
   return fig;
 }
 
@@ -176,10 +175,23 @@ Fig5Result fig5_upgrade_deltas(const dataset::StudyDataset& ds) {
 Fig6Result fig6_longitudinal(const dataset::StudyDataset& ds) {
   Fig6Result fig;
   const auto records = dasu_records(ds);
-  std::map<int, std::vector<RecordPtr>> by_year;
-  for (const auto* r : records) by_year[r->year].push_back(r);
+  // Radix group-by on the year column: one stable O(n) pass replaces the
+  // per-record map insertions; groups come out ascending by year with
+  // record order preserved inside each group, exactly like the old map.
+  const auto cols = extract_columns(records);
+  const auto by_year = stats::group_by_key(cols.year);
+  std::vector<std::vector<RecordPtr>> year_recs(by_year.keys.size());
+  for (std::size_t g = 0; g < by_year.keys.size(); ++g) {
+    auto& recs = year_recs[g];
+    recs.reserve(by_year.offsets[g + 1] - by_year.offsets[g]);
+    for (std::uint32_t i = by_year.offsets[g]; i < by_year.offsets[g + 1]; ++i) {
+      recs.push_back(records[by_year.order[i]]);
+    }
+  }
 
-  for (const auto& [year, recs] : by_year) {
+  for (std::size_t g = 0; g < by_year.keys.size(); ++g) {
+    const int year = static_cast<int>(by_year.keys[g]);
+    const auto& recs = year_recs[g];
     fig.mean_bt[year] = bin_usage_series(
         recs, [](const UserRecord& r) { return mean_down_bps(r, true); });
     fig.peak_bt[year] = bin_usage_series(
@@ -193,19 +205,20 @@ Fig6Result fig6_longitudinal(const dataset::StudyDataset& ds) {
   // Natural experiment: is demand in later years higher than in the first
   // year for otherwise similar users (same capacity/quality/market)? The
   // paper finds no significant change at any tier.
-  if (by_year.size() >= 2) {
-    const int first = by_year.begin()->first;
+  if (by_year.keys.size() >= 2) {
+    const auto first = static_cast<int>(by_year.keys.front());
     auto cov = covariates_price_experiment();  // capacity, rtt, loss, upgrade cost
     const auto outcome = [](const UserRecord& r) { return peak_down_bps(r, false); };
-    const auto control_units = make_units(by_year.at(first), outcome, cov);
+    const auto control_units = make_units(year_recs.front(), outcome, cov);
     causal::ExperimentOptions options;
     options.matcher.absolute_slacks = {1e-9, 1e-9, 2e-4, 0.02};  // cap, rtt, loss, cost
     const causal::NaturalExperiment experiment{options};
-    for (auto it = std::next(by_year.begin()); it != by_year.end(); ++it) {
-      const auto treated_units = make_units(it->second, outcome, cov);
+    for (std::size_t g = 1; g < by_year.keys.size(); ++g) {
+      const auto treated_units = make_units(year_recs[g], outcome, cov);
       fig.year_experiments.push_back(experiment.run(
-          std::to_string(first) + " vs " + std::to_string(it->first), treated_units,
-          control_units));
+          std::to_string(first) + " vs " +
+              std::to_string(static_cast<int>(by_year.keys[g])),
+          treated_units, control_units));
     }
   }
   return fig;
@@ -214,17 +227,25 @@ Fig6Result fig6_longitudinal(const dataset::StudyDataset& ds) {
 Fig7Result fig7_country_cdfs(const dataset::StudyDataset& ds,
                              const std::vector<std::string>& countries) {
   const auto records = dasu_records(ds);
+  // One radix group-by on the packed country key serves every requested
+  // country, instead of a full-population filter pass per country.
+  const auto cols = extract_columns(records);
+  const auto by_country = stats::group_by_key(cols.country);
   Fig7Result fig;
   for (const auto& code : countries) {
-    const auto recs =
-        filter(records, [&](const UserRecord& r) { return r.country_code == code; });
     Fig7Country c;
     c.code = code;
-    c.capacity_mbps =
-        stats::Ecdf{column(recs, [](const UserRecord& r) { return r.capacity.mbps(); })};
-    c.peak_utilization = stats::Ecdf{column(recs, [](const UserRecord& r) {
-      return std::min(1.0, r.peak_utilization_no_bt());
-    })};
+    const auto key = pack_country(code);
+    const auto it =
+        std::lower_bound(by_country.keys.begin(), by_country.keys.end(), key);
+    if (it != by_country.keys.end() && *it == key) {
+      const auto g = static_cast<std::size_t>(it - by_country.keys.begin());
+      const std::span<const std::uint32_t> idx{
+          by_country.order.data() + by_country.offsets[g],
+          by_country.offsets[g + 1] - by_country.offsets[g]};
+      c.capacity_mbps = stats::Ecdf{gather(cols.capacity_mbps, idx)};
+      c.peak_utilization = stats::Ecdf{gather(cols.peak_utilization_no_bt, idx)};
+    }
     fig.push_back(std::move(c));
   }
   return fig;
@@ -296,33 +317,44 @@ Fig10Result fig10_upgrade_cost_cdf(const dataset::StudyDataset& ds) {
   return fig;
 }
 
+namespace {
+
+/// Record indices split on the packed-country key (record order kept).
+std::pair<std::vector<std::uint32_t>, std::vector<std::uint32_t>> split_country(
+    const RecordColumns& cols, std::uint64_t key) {
+  std::pair<std::vector<std::uint32_t>, std::vector<std::uint32_t>> out;
+  for (std::size_t i = 0; i < cols.size(); ++i) {
+    (cols.country[i] == key ? out.first : out.second)
+        .push_back(static_cast<std::uint32_t>(i));
+  }
+  return out;
+}
+
+}  // namespace
+
 Fig11Result fig11_india_latency(const dataset::StudyDataset& ds) {
   const auto records = dasu_records(ds);
-  const auto india =
-      filter(records, [](const UserRecord& r) { return r.country_code == "IN"; });
-  const auto other =
-      filter(records, [](const UserRecord& r) { return r.country_code != "IN"; });
-
-  const auto rtt = [](const UserRecord& r) { return r.rtt_ms; };
+  const auto cols = extract_columns(records);
+  const auto [india, other] = split_country(cols, pack_country("IN"));
 
   // The paper's 2014 follow-up measured (a) a fresh NDT latency sample and
   // (b) the median latency to five popular websites, for the same users.
   // We model both as re-measurements of the same underlying path with
   // small instrument jitter, seeded per-user for determinism.
-  const auto jittered = [](std::span<const RecordPtr> recs, std::uint64_t salt,
-                           double sigma) {
+  const auto jittered = [&cols](std::span<const std::uint32_t> idx,
+                                std::uint64_t salt, double sigma) {
     std::vector<double> out;
-    out.reserve(recs.size());
-    for (const auto* r : recs) {
-      Rng rng{r->user_id * 0x9e3779b97f4a7c15ULL + salt};
-      out.push_back(r->rtt_ms * std::exp(rng.normal(0.0, sigma)));
+    out.reserve(idx.size());
+    for (const std::uint32_t i : idx) {
+      Rng rng{cols.user_id[i] * 0x9e3779b97f4a7c15ULL + salt};
+      out.push_back(cols.rtt_ms[i] * std::exp(rng.normal(0.0, sigma)));
     }
     return out;
   };
 
   Fig11Result fig;
-  fig.ndt1113_india = stats::Ecdf{column(india, rtt)};
-  fig.ndt1113_other = stats::Ecdf{column(other, rtt)};
+  fig.ndt1113_india = stats::Ecdf{gather(cols.rtt_ms, india)};
+  fig.ndt1113_other = stats::Ecdf{gather(cols.rtt_ms, other)};
   fig.ndt14_india = stats::Ecdf{jittered(india, 0xA1, 0.10)};
   fig.ndt14_other = stats::Ecdf{jittered(other, 0xA1, 0.10)};
   fig.web14_india = stats::Ecdf{jittered(india, 0xB2, 0.18)};
@@ -332,15 +364,11 @@ Fig11Result fig11_india_latency(const dataset::StudyDataset& ds) {
 
 Fig12Result fig12_india_loss(const dataset::StudyDataset& ds) {
   const auto records = dasu_records(ds);
+  const auto cols = extract_columns(records);
+  const auto [india, other] = split_country(cols, pack_country("IN"));
   Fig12Result fig;
-  fig.loss_pct_india = stats::Ecdf{
-      column(filter(records,
-                    [](const UserRecord& r) { return r.country_code == "IN"; }),
-             [](const UserRecord& r) { return r.loss * 100.0; })};
-  fig.loss_pct_other = stats::Ecdf{
-      column(filter(records,
-                    [](const UserRecord& r) { return r.country_code != "IN"; }),
-             [](const UserRecord& r) { return r.loss * 100.0; })};
+  fig.loss_pct_india = stats::Ecdf{gather(cols.loss_pct, india)};
+  fig.loss_pct_other = stats::Ecdf{gather(cols.loss_pct, other)};
   return fig;
 }
 

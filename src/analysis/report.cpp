@@ -31,8 +31,12 @@ void print_series(std::ostream& out, const std::string& name, const BinSeries& s
 
 void print_ecdf(std::ostream& out, const std::string& name, const stats::Ecdf& ecdf,
                 const std::string& unit) {
-  out << "  " << name << " (n=" << ecdf.size() << (unit.empty() ? "" : ", " + unit)
-      << "): " << ecdf.summary() << "\n";
+  out << "  " << name << " (n=" << ecdf.size();
+  // Surface silently-missing data: an ECDF built from a column with NaN
+  // entries dropped them, and a reader comparing n against the population
+  // should see why. Zero drops (the common case) prints exactly as before.
+  if (ecdf.dropped() > 0) out << ", " << ecdf.dropped() << " NaN dropped";
+  out << (unit.empty() ? "" : ", " + unit) << "): " << ecdf.summary() << "\n";
 }
 
 void print_experiment(std::ostream& out, const causal::ExperimentResult& result) {

@@ -1,9 +1,11 @@
 #include "analysis/tables.h"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 
 #include "stats/binning.h"
+#include "stats/column.h"
 #include "stats/quantile.h"
 
 namespace bblab::analysis {
@@ -154,22 +156,28 @@ Tab5Result tab5_region_costs(const dataset::StudyDataset& ds) {
   for (const auto region : market::table5_regions()) {
     Tab5Row row;
     row.region = region;
-    std::size_t above1 = 0;
-    std::size_t above5 = 0;
-    std::size_t above10 = 0;
+    std::vector<double> costs;
     for (const auto& [code, snap] : ds.markets) {
       if (snap.country->region != region) continue;
       if (!std::isfinite(snap.upgrade_cost_per_mbps)) continue;
-      ++row.countries;
-      if (snap.upgrade_cost_per_mbps > 1.0) ++above1;
-      if (snap.upgrade_cost_per_mbps > 5.0) ++above5;
-      if (snap.upgrade_cost_per_mbps > 10.0) ++above10;
+      costs.push_back(snap.upgrade_cost_per_mbps);
     }
-    if (row.countries > 0) {
-      const auto n = static_cast<double>(row.countries);
-      row.pct_above_1 = 100.0 * static_cast<double>(above1) / n;
-      row.pct_above_5 = 100.0 * static_cast<double>(above5) / n;
-      row.pct_above_10 = 100.0 * static_cast<double>(above10) / n;
+    row.countries = costs.size();
+    if (!costs.empty()) {
+      // One sorted column answers every threshold: #above(x) = n - n*F(x),
+      // where n*F(x) is an exact integer count (llround only strips the
+      // division round-trip), so this matches per-threshold counting.
+      const stats::SortedColumn col{costs};
+      const std::array<double, 3> thresholds{1.0, 5.0, 10.0};
+      std::array<double, 3> f{};
+      stats::ecdf_eval_sorted(col.values(), thresholds, f);
+      const auto n = static_cast<double>(costs.size());
+      const auto above = [n](double fi) {
+        return n - static_cast<double>(std::llround(fi * n));
+      };
+      row.pct_above_1 = 100.0 * above(f[0]) / n;
+      row.pct_above_5 = 100.0 * above(f[1]) / n;
+      row.pct_above_10 = 100.0 * above(f[2]) / n;
     }
     tab.push_back(row);
   }

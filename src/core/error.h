@@ -18,6 +18,17 @@ class InvalidArgument : public std::invalid_argument {
   using std::invalid_argument::invalid_argument;
 };
 
+/// Thrown by stats kernels when an operation that must read at least one
+/// value (quantile, ECDF evaluation, min/max) is applied to an empty
+/// column — typically because every input was NaN-filtered away. A
+/// subclass of InvalidArgument (it is a precondition violation) but
+/// typed, so analysis drivers can distinguish "no data after filtering"
+/// from a programming error and degrade gracefully.
+class EmptyColumn : public InvalidArgument {
+ public:
+  using InvalidArgument::InvalidArgument;
+};
+
 /// Thrown on file / parse failures in the dataset layer.
 class IoError : public std::runtime_error {
  public:

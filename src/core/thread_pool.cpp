@@ -1,11 +1,23 @@
 #include "core/thread_pool.h"
 
 #include <algorithm>
+#include <chrono>
 #include <exception>
 
+#include "core/error.h"
 #include "core/logging.h"
 
 namespace bblab::core {
+
+namespace {
+
+/// Identity of the current thread within its owning pool, for submit
+/// affinity and steal start position. One level is enough: a thread
+/// belongs to at most one pool.
+thread_local const ThreadPool* t_pool = nullptr;
+thread_local std::size_t t_index = 0;
+
+}  // namespace
 
 std::size_t ThreadPool::hardware_threads() {
   return std::max<std::size_t>(1, std::thread::hardware_concurrency());
@@ -13,40 +25,99 @@ std::size_t ThreadPool::hardware_threads() {
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) threads = hardware_threads();
+  queues_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    queues_.push_back(std::make_unique<Queue>());
+  }
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
-ThreadPool::~ThreadPool() {
-  {
-    const std::lock_guard<std::mutex> lock{mutex_};
-    stop_ = true;
+ThreadPool::~ThreadPool() { shutdown(); }
+
+void ThreadPool::shutdown() {
+  if (!stop_.exchange(true, std::memory_order_acq_rel)) {
+    // Passing through the sleep mutex orders the store against the wait
+    // predicate of any worker between its check and its sleep.
+    { const std::lock_guard<std::mutex> lock{sleep_mutex_}; }
+    cv_.notify_all();
   }
-  cv_.notify_all();
-  for (auto& w : workers_) w.join();
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  workers_.clear();
 }
 
 void ThreadPool::submit(std::function<void()> task) {
-  {
-    const std::lock_guard<std::mutex> lock{mutex_};
-    tasks_.push(std::move(task));
+  if (stop_.load(std::memory_order_acquire)) {
+    throw InvalidArgument{"ThreadPool::submit after shutdown"};
   }
+  const std::size_t home =
+      t_pool == this
+          ? t_index
+          : next_queue_.fetch_add(1, std::memory_order_relaxed) % queues_.size();
+  // Count first, push second: `queued_` stays an upper bound, so a
+  // concurrent pop can never underflow it (spurious wakeups on the
+  // other side are harmless — the woken worker just re-checks).
+  queued_.fetch_add(1, std::memory_order_release);
+  {
+    const std::lock_guard<std::mutex> lock{queues_[home]->mutex};
+    queues_[home]->tasks.push_back(std::move(task));
+  }
+  { const std::lock_guard<std::mutex> lock{sleep_mutex_}; }
   cv_.notify_one();
 }
 
-void ThreadPool::worker_loop() {
+bool ThreadPool::try_pop(std::size_t home, bool own, std::function<void()>& task) {
+  const std::size_t n = queues_.size();
+  for (std::size_t k = 0; k < n; ++k) {
+    Queue& q = *queues_[(home + k) % n];
+    const std::lock_guard<std::mutex> lock{q.mutex};
+    if (q.tasks.empty()) continue;
+    if (k == 0 && own) {
+      task = std::move(q.tasks.back());  // own deque: LIFO, cache-warm
+      q.tasks.pop_back();
+    } else {
+      task = std::move(q.tasks.front());  // steal: FIFO, oldest first
+      q.tasks.pop_front();
+    }
+    queued_.fetch_sub(1, std::memory_order_release);
+    return true;
+  }
+  return false;
+}
+
+bool ThreadPool::run_one() {
+  std::function<void()> task;
+  const bool own = t_pool == this;
+  if (!try_pop(own ? t_index : 0, own, task)) return false;
+  task();
+  return true;
+}
+
+void ThreadPool::worker_loop(std::size_t index) {
+  t_pool = this;
+  t_index = index;
   for (;;) {
     std::function<void()> task;
-    {
-      std::unique_lock<std::mutex> lock{mutex_};
-      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
-      if (tasks_.empty()) return;  // stop_ set and queue drained
-      task = std::move(tasks_.front());
-      tasks_.pop();
+    if (try_pop(index, /*own=*/true, task)) {
+      task();
+      continue;
     }
-    task();
+    std::unique_lock<std::mutex> lock{sleep_mutex_};
+    cv_.wait(lock, [this] {
+      return stop_.load(std::memory_order_acquire) ||
+             queued_.load(std::memory_order_acquire) > 0;
+    });
+    if (stop_.load(std::memory_order_acquire) &&
+        queued_.load(std::memory_order_acquire) == 0) {
+      // Shutdown and every queue drained (queued_ bounds queue content
+      // from above, and submit rejects once stop_ is set, so 0 is
+      // final): exit. Tasks accepted before shutdown all ran.
+      return;
+    }
   }
 }
 
@@ -92,7 +163,13 @@ void run_block(ForState& state, std::size_t begin, std::size_t end,
 void parallel_for(ThreadPool& pool, std::size_t n,
                   const std::function<void(std::size_t, std::size_t)>& body) {
   if (n == 0) return;
-  const std::size_t blocks = std::min(std::max<std::size_t>(1, pool.size()), n);
+  const std::size_t workers = std::max<std::size_t>(1, pool.size());
+  // Several blocks per worker: a stolen block is the unit of
+  // rebalancing, so finer blocks absorb more cost skew. The block count
+  // stays a pure function of (n, pool.size()) — never of scheduling.
+  constexpr std::size_t kBlocksPerWorker = 8;
+  const std::size_t blocks =
+      workers == 1 ? 1 : std::min(n, workers * kBlocksPerWorker);
   if (blocks == 1) {
     body(0, n);
     return;
@@ -111,9 +188,24 @@ void parallel_for(ThreadPool& pool, std::size_t n,
     });
   }
   run_block(state, block_begin(0), block_begin(1), body);
-  {
+  // Help-drain instead of blocking: run queued tasks (this loop's blocks
+  // or anyone else's) until our own blocks have all settled. A body that
+  // itself calls parallel_for on this pool reaches this same loop on a
+  // worker thread and keeps draining, so nested parallelism cannot
+  // leave queued blocks that no thread will ever run.
+  for (;;) {
+    {
+      const std::lock_guard<std::mutex> lock{state.mutex};
+      if (state.pending == 0) break;
+    }
+    if (pool.run_one()) continue;
+    // Nothing queued: our remaining blocks are executing on workers.
+    // Sleep with a short lease rather than unbounded — a stolen-then-
+    // nested task may enqueue new work we should go help with.
     std::unique_lock<std::mutex> lock{state.mutex};
-    state.cv.wait(lock, [&state] { return state.pending == 0; });
+    if (state.pending == 0) break;
+    state.cv.wait_for(lock, std::chrono::milliseconds(1),
+                      [&state] { return state.pending == 0; });
   }
   if (state.error) {
     if (state.suppressed > 0) {

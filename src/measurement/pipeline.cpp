@@ -94,9 +94,12 @@ std::vector<HouseholdResult> parallel_simulate_households(
     const Rng& base, core::ThreadPool& pool) {
   std::vector<HouseholdResult> results(tasks.size());
   core::parallel_for(pool, tasks.size(), [&](std::size_t begin, std::size_t end) {
-    // One fluid workspace per contiguous block (= per worker thread): the
-    // scratch buffers warm up on the first household and every later one
-    // in the block simulates allocation-free.
+    // One fluid workspace per contiguous block (the work-stealing pool
+    // over-partitions into several blocks per worker): the scratch
+    // buffers warm up on the first household and every later one in the
+    // block simulates allocation-free. Each household still forks its
+    // own Rng substream by stable stream id, so results do not depend on
+    // how blocks land on threads.
     netsim::FluidWorkspace workspace;
     for (std::size_t i = begin; i < end; ++i) {
       Rng rng = base.fork(tasks[i].stream_id);

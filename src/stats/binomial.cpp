@@ -1,10 +1,12 @@
 #include "stats/binomial.h"
 
+#include <algorithm>
 #include <array>
 #include <cmath>
 #include <cstdio>
 
 #include "core/error.h"
+#include "stats/column.h"
 
 namespace bblab::stats {
 
@@ -116,6 +118,33 @@ double binomial_p_greater(std::uint64_t successes, std::uint64_t trials, double 
   if (trials == 0) return 1.0;
   const double p = pmf_sum(successes, trials, trials, p0);
   return std::min(1.0, p);
+}
+
+std::vector<double> binomial_p_greater_batch(std::span<const std::uint64_t> successes,
+                                             std::uint64_t trials, double p0) {
+  require(p0 > 0.0 && p0 < 1.0, "binomial test: p0 must be in (0,1)");
+  std::vector<double> out(successes.size(), 1.0);
+  if (successes.empty()) return out;
+  for (const std::uint64_t k : successes) {
+    require(k <= trials, "binomial test: successes must be <= trials");
+  }
+  if (trials == 0) return out;
+  // Visit the queries in descending k. tail(k') = tail(k) + sum of the
+  // PMF over [k', k-1], so each segment of the tail is summed exactly
+  // once no matter how many queries share it. pmf_sum keeps each
+  // segment's internal summation mass-ordered, as in the scalar path.
+  const auto order = sort_permutation(successes);
+  double tail = 0.0;
+  std::uint64_t covered_from = trials + 1;  // tail currently covers [covered_from, n]
+  for (std::size_t r = order.size(); r-- > 0;) {
+    const std::uint64_t k = successes[order[r]];
+    if (k < covered_from) {
+      tail += pmf_sum(k, covered_from - 1, trials, p0);
+      covered_from = k;
+    }
+    out[order[r]] = std::min(1.0, tail);
+  }
+  return out;
 }
 
 double binomial_p_less(std::uint64_t successes, std::uint64_t trials, double p0) {

@@ -9,7 +9,9 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
+#include <vector>
 
 namespace bblab::stats {
 
@@ -18,6 +20,16 @@ namespace bblab::stats {
 /// hundreds of thousands). `trials` == 0 yields 1.0.
 [[nodiscard]] double binomial_p_greater(std::uint64_t successes, std::uint64_t trials,
                                         double p0 = 0.5);
+
+/// Batched upper tails at a shared n: out[i] = P(X >= successes[i] | n, p0).
+/// The queries are sorted and the tail is accumulated once from the
+/// largest k downward, so overlapping tail segments are summed once
+/// instead of once per query — O(n + m log m) for m queries versus
+/// O(n * m) scalar calls. Agrees with binomial_p_greater to within
+/// summation regrouping (last-ulp), not bitwise.
+[[nodiscard]] std::vector<double> binomial_p_greater_batch(
+    std::span<const std::uint64_t> successes, std::uint64_t trials,
+    double p0 = 0.5);
 
 /// Exact lower-tail p-value: P(X <= successes | n, p0).
 [[nodiscard]] double binomial_p_less(std::uint64_t successes, std::uint64_t trials,

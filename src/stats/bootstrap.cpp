@@ -1,6 +1,7 @@
 #include "stats/bootstrap.h"
 
 #include <algorithm>
+#include <array>
 #include <vector>
 
 #include "core/error.h"
@@ -27,8 +28,10 @@ BootstrapCi bootstrap_ci(std::span<const double> sample,
   }
   std::sort(estimates.begin(), estimates.end());
   const double tail = (1.0 - confidence) / 2.0;
-  ci.lo = quantile_sorted(estimates, tail);
-  ci.hi = quantile_sorted(estimates, 1.0 - tail);
+  const std::array<double, 2> qs{tail, 1.0 - tail};
+  const auto bounds = quantiles_sorted(estimates, qs);
+  ci.lo = bounds[0];
+  ci.hi = bounds[1];
   return ci;
 }
 

@@ -36,10 +36,22 @@ std::string MeanCi::to_string() const {
 }
 
 MeanCi mean_ci95(std::span<const double> xs) {
+  // Fused: the naive form recomputes the mean three times (mean, then
+  // sem -> stddev -> variance -> mean twice over). Same sums in the same
+  // order — bitwise-identical results, one third the traversals.
   MeanCi ci;
   ci.n = xs.size();
-  ci.mean = mean(xs);
-  ci.half_width = 1.96 * sem(xs);
+  if (xs.empty()) return ci;
+  double sum = 0.0;
+  for (const double x : xs) sum += x;
+  const double m = sum / static_cast<double>(xs.size());
+  ci.mean = m;
+  if (xs.size() < 2) return ci;
+  double ss = 0.0;
+  for (const double x : xs) ss += (x - m) * (x - m);
+  const double var = ss / static_cast<double>(xs.size() - 1);
+  ci.half_width =
+      1.96 * (std::sqrt(var) / std::sqrt(static_cast<double>(xs.size())));
   return ci;
 }
 
@@ -54,6 +66,10 @@ void RunningStats::add(double x) {
   const double delta = x - mean_;
   mean_ += delta / static_cast<double>(n_);
   m2_ += delta * (x - mean_);
+}
+
+void RunningStats::add(std::span<const double> xs) {
+  for (const double x : xs) add(x);
 }
 
 double RunningStats::variance() const {
@@ -77,6 +93,12 @@ void RunningStats::merge(const RunningStats& other) {
   min_ = std::min(min_, other.min_);
   max_ = std::max(max_, other.max_);
   n_ += other.n_;
+}
+
+RunningStats accumulate(std::span<const double> xs) {
+  RunningStats stats;
+  stats.add(xs);
+  return stats;
 }
 
 }  // namespace bblab::stats

@@ -41,6 +41,10 @@ struct MeanCi {
 class RunningStats {
  public:
   void add(double x);
+  /// Block form for SoA columns: identical to calling add() per element
+  /// (bitwise — same Welford recurrence in the same order), one call per
+  /// column instead of one per value.
+  void add(std::span<const double> xs);
 
   [[nodiscard]] std::size_t count() const { return n_; }
   [[nodiscard]] double mean() const { return mean_; }
@@ -60,5 +64,9 @@ class RunningStats {
   double min_{0.0};
   double max_{0.0};
 };
+
+/// Accumulate a whole column in one call — the batched entry point the
+/// analysis drivers use on SoA columns.
+[[nodiscard]] RunningStats accumulate(std::span<const double> xs);
 
 }  // namespace bblab::stats

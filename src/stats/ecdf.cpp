@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <cmath>
 #include <cstdio>
 
 #include "core/error.h"
@@ -9,9 +10,14 @@
 
 namespace bblab::stats {
 
-Ecdf::Ecdf(std::span<const double> sample) : sorted_{sample.begin(), sample.end()} {
-  std::sort(sorted_.begin(), sorted_.end());
+Ecdf::Ecdf(std::span<const double> sample) {
+  SortedColumn column{sample};
+  dropped_ = column.dropped();
+  sorted_ = std::move(column).take();
 }
+
+Ecdf::Ecdf(SortedColumn&& column)
+    : sorted_{std::move(column).take()} {}
 
 double Ecdf::operator()(double x) const {
   if (sorted_.empty()) return 0.0;
@@ -19,15 +25,20 @@ double Ecdf::operator()(double x) const {
   return static_cast<double>(it - sorted_.begin()) / static_cast<double>(sorted_.size());
 }
 
+void Ecdf::evaluate_sorted(std::span<const double> sorted_queries,
+                           std::span<double> out) const {
+  ecdf_eval_sorted(sorted_, sorted_queries, out);
+}
+
 double Ecdf::inverse(double q) const { return quantile_sorted(sorted_, q); }
 
 double Ecdf::min() const {
-  require(!sorted_.empty(), "Ecdf::min on empty ECDF");
+  if (sorted_.empty()) throw EmptyColumn{"Ecdf::min on empty ECDF"};
   return sorted_.front();
 }
 
 double Ecdf::max() const {
-  require(!sorted_.empty(), "Ecdf::max on empty ECDF");
+  if (sorted_.empty()) throw EmptyColumn{"Ecdf::max on empty ECDF"};
   return sorted_.back();
 }
 
@@ -45,22 +56,26 @@ std::vector<Ecdf::Point> Ecdf::sampled(std::size_t resolution) const {
   require(resolution >= 2, "Ecdf::sampled needs resolution >= 2");
   std::vector<Point> out;
   if (sorted_.empty()) return out;
-  out.reserve(resolution);
+  std::vector<double> qs;
+  qs.reserve(resolution);
   for (std::size_t i = 0; i < resolution; ++i) {
-    const double q = static_cast<double>(i) / static_cast<double>(resolution - 1);
-    out.push_back({inverse(q), q});
+    qs.push_back(static_cast<double>(i) / static_cast<double>(resolution - 1));
   }
+  const auto values = quantiles_sorted(sorted_, qs);
+  out.reserve(resolution);
+  for (std::size_t i = 0; i < resolution; ++i) out.push_back({values[i], qs[i]});
   return out;
 }
 
 std::string Ecdf::summary() const {
   if (sorted_.empty()) return "(empty)";
   static constexpr std::array<double, 7> kQs{0.05, 0.10, 0.25, 0.50, 0.75, 0.90, 0.95};
+  const auto values = quantiles_sorted(sorted_, kQs);
   std::string s;
   std::array<char, 64> buf{};
-  for (const double q : kQs) {
-    std::snprintf(buf.data(), buf.size(), "p%02d=%.4g ", static_cast<int>(q * 100),
-                  inverse(q));
+  for (std::size_t i = 0; i < kQs.size(); ++i) {
+    std::snprintf(buf.data(), buf.size(), "p%02d=%.4g ",
+                  static_cast<int>(kQs[i] * 100), values[i]);
     s += buf.data();
   }
   if (!s.empty()) s.pop_back();
@@ -69,9 +84,25 @@ std::string Ecdf::summary() const {
 
 double ks_statistic(const Ecdf& a, const Ecdf& b) {
   require(!a.empty() && !b.empty(), "ks_statistic: both ECDFs must be non-empty");
+  // One merge over both sorted samples: at every distinct sample value x
+  // (in ascending order), advance each cursor past the elements <= x;
+  // the cursors then ARE n*F1(x) and m*F2(x). Once one sample is
+  // exhausted its CDF is pinned at 1 and the gap only shrinks, so the
+  // loop can stop — the supremum was already seen.
+  const auto& xs = a.sorted();
+  const auto& ys = b.sorted();
+  const auto na = static_cast<double>(xs.size());
+  const auto nb = static_cast<double>(ys.size());
   double d = 0.0;
-  for (const double x : a.sorted()) d = std::max(d, std::abs(a(x) - b(x)));
-  for (const double x : b.sorted()) d = std::max(d, std::abs(a(x) - b(x)));
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < xs.size() && j < ys.size()) {
+    const double x = std::min(xs[i], ys[j]);
+    while (i < xs.size() && xs[i] <= x) ++i;
+    while (j < ys.size() && ys[j] <= x) ++j;
+    d = std::max(d, std::abs(static_cast<double>(i) / na -
+                             static_cast<double>(j) / nb));
+  }
   return d;
 }
 

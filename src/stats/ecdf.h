@@ -3,30 +3,49 @@
 // Nearly half the paper's figures are CDFs (capacity, latency, loss,
 // utilization, upgrade cost...). Ecdf owns a sorted copy of the sample and
 // supports evaluation, inversion, and export of plot-ready (x, F(x)) series.
+// Construction runs through stats::SortedColumn, so NaN elements (missing
+// observations) are dropped and counted rather than poisoning the sort, and
+// a presorted column — e.g. one adopted straight from a `.bbs` snapshot
+// section — can be moved in without re-sorting.
 #pragma once
 
 #include <span>
 #include <string>
 #include <vector>
 
+#include "stats/column.h"
+
 namespace bblab::stats {
 
 class Ecdf {
  public:
   Ecdf() = default;
+  /// Copy, NaN-filter, sort. The dropped-NaN count is kept (dropped()).
   explicit Ecdf(std::span<const double> sample);
+  /// Adopt an already-filtered, already-sorted column without re-sorting.
+  explicit Ecdf(SortedColumn&& column);
 
   [[nodiscard]] bool empty() const { return sorted_.empty(); }
   [[nodiscard]] std::size_t size() const { return sorted_.size(); }
+  /// NaN elements removed at construction.
+  [[nodiscard]] std::size_t dropped() const { return dropped_; }
 
   /// F(x) = fraction of sample <= x. Empty ECDF -> 0.
   [[nodiscard]] double operator()(double x) const;
 
+  /// Batched evaluation at ASCENDING query points: one linear merge over
+  /// the sorted sample instead of a binary search per query. Throws
+  /// EmptyColumn when the ECDF is empty — the batch form is for analysis
+  /// tables that must not silently tabulate zeros from no data.
+  void evaluate_sorted(std::span<const double> sorted_queries,
+                       std::span<double> out) const;
+
   /// Inverse CDF (quantile function), linear interpolation, q in [0,1].
+  /// Throws EmptyColumn on an empty ECDF.
   [[nodiscard]] double inverse(double q) const;
 
-  [[nodiscard]] double min() const;
-  [[nodiscard]] double max() const;
+  [[nodiscard]] double min() const;  ///< throws EmptyColumn on empty
+  [[nodiscard]] double max() const;  ///< throws EmptyColumn on empty
 
   /// Plot-ready series of (value, cumulative fraction) — one point per
   /// sample element, as a step-function upper trace.
@@ -48,9 +67,11 @@ class Ecdf {
 
  private:
   std::vector<double> sorted_;
+  std::size_t dropped_{0};
 };
 
 /// Two-sample Kolmogorov–Smirnov statistic: sup_x |F1(x) - F2(x)|.
+/// One merge over both sorted samples — O(n + m), not O((n+m) log(n+m)).
 /// Used by tests to compare generated distributions against targets.
 [[nodiscard]] double ks_statistic(const Ecdf& a, const Ecdf& b);
 

@@ -4,30 +4,16 @@
 #include <cmath>
 
 #include "core/error.h"
+#include "stats/column.h"
 
 namespace bblab::stats {
 
-namespace {
-
-/// Copy `xs` dropping NaNs (missing upstream observations, e.g. a
-/// household with zero active days), sorted ascending. NaN has no order
-/// under operator< — sorting it is undefined and used to yield garbage
-/// quantiles, so missing values are excluded up front.
-std::vector<double> sorted_finite(std::span<const double> xs) {
-  std::vector<double> copy;
-  copy.reserve(xs.size());
-  for (const double x : xs) {
-    if (!std::isnan(x)) copy.push_back(x);
-  }
-  std::sort(copy.begin(), copy.end());
-  return copy;
-}
-
-}  // namespace
-
 double quantile_sorted(std::span<const double> sorted, double q) {
   require(q >= 0.0 && q <= 1.0, "quantile: q must be in [0,1]");
-  if (sorted.empty()) return 0.0;
+  if (sorted.empty()) {
+    throw EmptyColumn{
+        "quantile_sorted: empty column (all inputs NaN-filtered away?)"};
+  }
   if (sorted.size() == 1) {
     require(!std::isnan(sorted[0]),
             "quantile_sorted: input contains NaN (filter missing values first)");
@@ -43,21 +29,33 @@ double quantile_sorted(std::span<const double> sorted, double q) {
   return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
 }
 
+std::vector<double> quantiles_sorted(std::span<const double> sorted,
+                                     std::span<const double> qs) {
+  std::vector<double> out;
+  out.reserve(qs.size());
+  for (const double q : qs) out.push_back(quantile_sorted(sorted, q));
+  return out;
+}
+
 double quantile(std::span<const double> xs, double q) {
-  return quantile_sorted(sorted_finite(xs), q);
+  const auto copy = sorted_finite(xs);
+  if (copy.empty()) {
+    require(q >= 0.0 && q <= 1.0, "quantile: q must be in [0,1]");
+    return 0.0;  // documented lenient contract for the unsorted wrappers
+  }
+  return quantile_sorted(copy, q);
 }
 
 double iqr(std::span<const double> xs) {
   const auto copy = sorted_finite(xs);
+  if (copy.empty()) return 0.0;
   return quantile_sorted(copy, 0.75) - quantile_sorted(copy, 0.25);
 }
 
 std::vector<double> quantiles(std::span<const double> xs, std::span<const double> qs) {
   const auto copy = sorted_finite(xs);
-  std::vector<double> out;
-  out.reserve(qs.size());
-  for (const double q : qs) out.push_back(quantile_sorted(copy, q));
-  return out;
+  if (copy.empty()) return std::vector<double>(qs.size(), 0.0);
+  return quantiles_sorted(copy, qs);
 }
 
 }  // namespace bblab::stats

@@ -17,9 +17,17 @@ namespace bblab::stats {
 [[nodiscard]] double quantile(std::span<const double> xs, double q);
 
 /// Quantile of an already-sorted (ascending) sample; no allocation.
-/// Throws InvalidArgument if an interpolated element is NaN (NaN cannot
-/// be sorted — filter missing values before calling).
+/// Throws EmptyColumn when the sample is empty (there is no element 0 to
+/// read) and InvalidArgument if an interpolated element is NaN (NaN
+/// cannot be sorted — filter missing values before calling).
 [[nodiscard]] double quantile_sorted(std::span<const double> sorted, double q);
+
+/// Several quantiles of one already-sorted sample — the batched core
+/// behind bootstrap CIs and figure summary rows: one pass of index
+/// arithmetic, no re-sorting, no allocation beyond the result. Same
+/// empty/NaN contract as quantile_sorted.
+[[nodiscard]] std::vector<double> quantiles_sorted(std::span<const double> sorted,
+                                                   std::span<const double> qs);
 
 /// Convenience percentile wrappers.
 [[nodiscard]] inline double median(std::span<const double> xs) { return quantile(xs, 0.5); }

@@ -192,5 +192,34 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values<std::uint64_t>(1, 7, 50, 333),
                        ::testing::Values(0.1, 0.5, 0.85)));
 
+TEST(BinomialBatch, MatchesScalarTails) {
+  // The batch kernel shares tail segments between sorted queries; it
+  // agrees with the scalar path up to summation regrouping, so compare
+  // with a tight relative tolerance rather than bitwise.
+  const std::uint64_t n = 100000;
+  // Deliberately unsorted + duplicated query order.
+  std::vector<std::uint64_t> shuffled{50200, 0, 99999, 50001, 50001, 1,
+                                      60000, 49000, 50000, 100000, 51000};
+  for (const double p0 : {0.3, 0.5}) {
+    const auto batch = binomial_p_greater_batch(shuffled, n, p0);
+    ASSERT_EQ(batch.size(), shuffled.size());
+    for (std::size_t i = 0; i < shuffled.size(); ++i) {
+      const double scalar = binomial_p_greater(shuffled[i], n, p0);
+      EXPECT_NEAR(batch[i], scalar, std::max(1e-300, scalar * 1e-9))
+          << "k=" << shuffled[i] << " p0=" << p0;
+    }
+  }
+}
+
+TEST(BinomialBatch, EdgeCases) {
+  EXPECT_TRUE(binomial_p_greater_batch({}, 100).empty());
+  const std::vector<std::uint64_t> ks{0, 0};
+  const auto zero_trials = binomial_p_greater_batch(ks, 0);
+  EXPECT_DOUBLE_EQ(zero_trials[0], 1.0);
+  EXPECT_DOUBLE_EQ(zero_trials[1], 1.0);
+  const std::vector<std::uint64_t> bad{5};
+  EXPECT_THROW((void)binomial_p_greater_batch(bad, 4), InvalidArgument);
+}
+
 }  // namespace
 }  // namespace bblab::stats

@@ -4,6 +4,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <span>
+#include <utility>
 #include <vector>
 
 #include "core/rng.h"
@@ -104,6 +106,42 @@ TEST(RunningStats, MergeWithEmptySides) {
   target2.merge(some);
   EXPECT_EQ(target2.count(), 2u);
   EXPECT_DOUBLE_EQ(target2.mean(), 2.0);
+}
+
+TEST(RunningStats, BlockAddIsBitwiseIdenticalToScalarAdds) {
+  Rng rng{55};
+  std::vector<double> xs;
+  for (int i = 0; i < 1000; ++i) xs.push_back(rng.lognormal(0.0, 2.0));
+  RunningStats scalar;
+  for (const double x : xs) scalar.add(x);
+  RunningStats block;
+  block.add(std::span<const double>{xs});
+  const RunningStats acc = accumulate(xs);
+  for (const RunningStats* s : {&std::as_const(block), &acc}) {
+    EXPECT_EQ(s->count(), scalar.count());
+    EXPECT_EQ(s->mean(), scalar.mean());          // bitwise, not NEAR
+    EXPECT_EQ(s->variance(), scalar.variance());  // bitwise, not NEAR
+    EXPECT_EQ(s->min(), scalar.min());
+    EXPECT_EQ(s->max(), scalar.max());
+  }
+}
+
+TEST(MeanCi95, FusedPassMatchesComposedFunctions) {
+  Rng rng{56};
+  std::vector<double> xs;
+  for (int i = 0; i < 333; ++i) xs.push_back(rng.normal(5.0, 2.0));
+  const auto ci = mean_ci95(xs);
+  EXPECT_EQ(ci.n, xs.size());
+  // The fused single-traversal implementation must reproduce the
+  // composed mean/sem definitions bit for bit.
+  EXPECT_EQ(ci.mean, mean(xs));
+  EXPECT_EQ(ci.half_width, 1.96 * sem(xs));
+  const auto empty = mean_ci95(std::vector<double>{});
+  EXPECT_DOUBLE_EQ(empty.mean, 0.0);
+  EXPECT_DOUBLE_EQ(empty.half_width, 0.0);
+  const auto single = mean_ci95(std::vector<double>{7.0});
+  EXPECT_DOUBLE_EQ(single.mean, 7.0);
+  EXPECT_DOUBLE_EQ(single.half_width, 0.0);
 }
 
 }  // namespace

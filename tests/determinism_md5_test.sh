@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# Determinism acceptance check for the work-stealing pool: the full
+# dataset (every generated CSV) and the figure renderings must be
+# byte-identical — compared by md5 — no matter how many threads the
+# engine schedules across. Steal order is adversarially timing-dependent,
+# so any ordering leak into results shows up here as an md5 mismatch.
+set -u
+
+BBLAB=$1
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+ARGS="--seed 99 --scale 0.02 --days 0.3"
+fails=0
+
+fail() {
+  echo "FAIL: $*"
+  fails=1
+}
+
+md5_tree() {
+  # Stable fingerprint of a directory: md5 of every file, sorted by path.
+  (cd "$1" && find . -type f | sort | xargs md5sum) | md5sum | cut -d' ' -f1
+}
+
+# --- datasets: generate at 1 / 2 / 8 threads -------------------------------
+for t in 1 2 8; do
+  "$BBLAB" generate $ARGS --threads "$t" --out "$WORK/gen$t" >/dev/null 2>&1 \
+    || fail "generate --threads $t exited non-zero"
+done
+base=$(md5_tree "$WORK/gen1")
+echo "dataset md5 @1 thread: $base"
+for t in 2 8; do
+  got=$(md5_tree "$WORK/gen$t")
+  [ "$got" = "$base" ] || fail "dataset md5 differs at $t threads: $got != $base"
+done
+
+# --- figures: stdout rendering at 1 / 2 / 8 threads ------------------------
+for fig in fig1 fig2 fig6 fig10; do
+  "$BBLAB" figure "$fig" $ARGS --threads 1 >"$WORK/$fig.1" 2>/dev/null \
+    || fail "figure $fig --threads 1 exited non-zero"
+  base=$(md5sum <"$WORK/$fig.1" | cut -d' ' -f1)
+  echo "$fig md5 @1 thread: $base"
+  for t in 2 8; do
+    "$BBLAB" figure "$fig" $ARGS --threads "$t" >"$WORK/$fig.$t" 2>/dev/null \
+      || fail "figure $fig --threads $t exited non-zero"
+    got=$(md5sum <"$WORK/$fig.$t" | cut -d' ' -f1)
+    [ "$got" = "$base" ] || fail "$fig md5 differs at $t threads: $got != $base"
+  done
+done
+
+if [ "$fails" -ne 0 ]; then
+  echo "determinism_md5_test: FAILED"
+  exit 1
+fi
+echo "determinism_md5_test: OK"

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <limits>
 #include <vector>
 
 #include "core/error.h"
@@ -24,6 +26,50 @@ TEST(Ecdf, EmptyBehaves) {
   EXPECT_TRUE(e.empty());
   EXPECT_DOUBLE_EQ(e(1.0), 0.0);
   EXPECT_THROW(e.min(), InvalidArgument);
+  // The operations that must read at least one value throw the typed
+  // error instead of reading element 0 of nothing.
+  EXPECT_THROW((void)e.min(), EmptyColumn);
+  EXPECT_THROW((void)e.max(), EmptyColumn);
+  EXPECT_THROW((void)e.inverse(0.5), EmptyColumn);
+  std::vector<double> out(1);
+  EXPECT_THROW(e.evaluate_sorted(std::vector<double>{1.0}, out), EmptyColumn);
+}
+
+TEST(Ecdf, DropsNanInputAndCountsIt) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const Ecdf dirty{std::vector<double>{nan, 3, 1, nan, 2}};
+  const Ecdf clean{std::vector<double>{3, 1, 2}};
+  EXPECT_EQ(dirty.size(), 3u);
+  EXPECT_EQ(dirty.dropped(), 2u);
+  EXPECT_EQ(clean.dropped(), 0u);
+  for (const double x : {0.5, 1.0, 2.5, 3.0}) {
+    EXPECT_DOUBLE_EQ(dirty(x), clean(x)) << x;
+  }
+  const Ecdf all_nan{std::vector<double>{nan, nan}};
+  EXPECT_TRUE(all_nan.empty());
+  EXPECT_EQ(all_nan.dropped(), 2u);
+}
+
+TEST(Ecdf, BatchEvaluationMatchesScalar) {
+  Rng rng{31};
+  std::vector<double> xs;
+  for (int i = 0; i < 600; ++i) xs.push_back(rng.lognormal(0.0, 1.0));
+  const Ecdf e{xs};
+  std::vector<double> queries;
+  for (int i = 0; i < 200; ++i) queries.push_back(rng.lognormal(0.0, 1.2));
+  std::sort(queries.begin(), queries.end());
+  std::vector<double> out(queries.size());
+  e.evaluate_sorted(queries, out);
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(out[i], e(queries[i])) << i;
+  }
+}
+
+TEST(Ecdf, AdoptsPresortedColumn) {
+  auto col = SortedColumn::adopt_sorted(std::vector<double>{1, 2, 3, 4});
+  const Ecdf e{std::move(col)};
+  EXPECT_EQ(e.size(), 4u);
+  EXPECT_DOUBLE_EQ(e(2.5), 0.5);
 }
 
 TEST(Ecdf, InverseMatchesQuantiles) {
@@ -83,6 +129,29 @@ TEST(KsStatistic, SameDistributionIsSmall) {
   for (int i = 0; i < 5000; ++i) a.push_back(rng.normal(0, 1));
   for (int i = 0; i < 5000; ++i) b.push_back(rng.normal(0, 1));
   EXPECT_LT(ks_statistic(Ecdf{a}, Ecdf{b}), 0.05);
+}
+
+TEST(KsStatistic, MergeMatchesBruteForceSup) {
+  // The O(n+m) merge must equal the definition: the sup of |F1 - F2|
+  // evaluated at every sample point of both distributions.
+  Rng rng{41};
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<double> a;
+    std::vector<double> b;
+    const int na = 5 + static_cast<int>(rng.index(200));
+    const int nb = 5 + static_cast<int>(rng.index(200));
+    for (int i = 0; i < na; ++i) a.push_back(rng.normal(0.0, 1.0));
+    for (int i = 0; i < nb; ++i) {
+      b.push_back(rng.bernoulli(0.3) ? a[rng.index(a.size())]  // forced ties
+                                     : rng.normal(0.5, 1.2));
+    }
+    const Ecdf ea{a};
+    const Ecdf eb{b};
+    double brute = 0.0;
+    for (const double x : ea.sorted()) brute = std::max(brute, std::abs(ea(x) - eb(x)));
+    for (const double x : eb.sorted()) brute = std::max(brute, std::abs(ea(x) - eb(x)));
+    EXPECT_DOUBLE_EQ(ks_statistic(ea, eb), brute) << trial;
+  }
 }
 
 TEST(KsStatistic, ShiftedDistributionIsLarge) {

@@ -112,6 +112,51 @@ TEST(ParallelPipeline, ByteIdenticalAcrossThreadCounts) {
   }
 }
 
+TEST(ParallelPipeline, ByteIdenticalUnderAdversarialCostSkew) {
+  // Property (work-stealing determinism): per-task cost skew dictates
+  // which workers steal which blocks, and none of that may reach the
+  // output. The batch alternates a few very heavy households (saturating
+  // BitTorrent users simulated over a long window) with swarms of
+  // near-idle ones, so static contiguous blocks are maximally unbalanced
+  // and the steal path actually runs at 2 and 8 threads.
+  const PipelineFixture fx;
+  Rng rng{424242};
+  std::vector<HouseholdTask> tasks;
+  for (std::size_t i = 0; i < 40; ++i) {
+    HouseholdTask t;
+    const bool heavy = i % 13 == 0;  // ~3 heavy tasks, unevenly placed
+    t.link.down = Rate::from_mbps(heavy ? 100.0 : rng.uniform(1.0, 4.0));
+    t.link.up = Rate::from_mbps(heavy ? 10.0 : 0.5);
+    t.link.rtt_ms = rng.uniform(10.0, 300.0);
+    t.link.loss = rng.uniform(0.0, 0.01);
+    t.workload.intensity = heavy ? 3.0 : 0.05;
+    t.workload.heavy_intensity = heavy ? 3.0 : 0.05;
+    t.workload.bt_sessions_per_day = heavy ? 6.0 : 0.0;
+    t.workload.phase_shift_hours = rng.normal(0.0, 1.5);
+    t.t0 = std::floor(rng.uniform(0.0, 300.0)) * kDay;
+    t.bins = heavy ? 2880 : 120;  // 24h vs 1h at 30s bins
+    t.bin_width_s = 30.0;
+    t.collector = i % 3 == 0 ? CollectorKind::kGateway : CollectorKind::kDasu;
+    t.stream_id = 5000 + i;
+    tasks.push_back(t);
+  }
+  const Rng base{2014};
+
+  core::ThreadPool pool1{1};
+  const auto serial =
+      measurement::parallel_simulate_households(fx.kit(), tasks, base, pool1);
+  ASSERT_EQ(serial.size(), tasks.size());
+  for (const std::size_t threads : {2u, 8u}) {
+    core::ThreadPool pool{threads};
+    const auto parallel =
+        measurement::parallel_simulate_households(fx.kit(), tasks, base, pool);
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      expect_identical(serial[i], parallel[i], i);
+    }
+  }
+}
+
 TEST(ParallelPipeline, MatchesDirectSimulateHousehold) {
   const PipelineFixture fx;
   const auto tasks = fx.make_tasks(5);

@@ -82,6 +82,30 @@ TEST(Quantile, AllNanBehavesLikeEmpty) {
   EXPECT_DOUBLE_EQ(iqr(xs), 0.0);
 }
 
+TEST(QuantileSorted, EmptyColumnThrowsTypedError) {
+  // Regression: quantile_sorted(empty) used to fabricate 0.0 from no
+  // data. The lenient 0.0 contract stays on the unsorted NaN-dropping
+  // wrappers; the sorted kernel now refuses with the typed EmptyColumn
+  // (an InvalidArgument subclass, so older catch sites still work).
+  EXPECT_THROW((void)quantile_sorted(std::vector<double>{}, 0.5), EmptyColumn);
+  EXPECT_THROW((void)quantile_sorted(std::vector<double>{}, 0.5), InvalidArgument);
+  const std::vector<double> qs{0.25, 0.75};
+  EXPECT_THROW((void)quantiles_sorted(std::vector<double>{}, qs), EmptyColumn);
+}
+
+TEST(QuantileSorted, BatchMatchesScalar) {
+  Rng rng{21};
+  std::vector<double> xs;
+  for (int i = 0; i < 400; ++i) xs.push_back(rng.normal(10.0, 3.0));
+  std::sort(xs.begin(), xs.end());
+  const std::vector<double> qs{0.0, 0.1, 0.5, 0.9, 1.0};
+  const auto batch = quantiles_sorted(xs, qs);
+  ASSERT_EQ(batch.size(), qs.size());
+  for (std::size_t i = 0; i < qs.size(); ++i) {
+    EXPECT_DOUBLE_EQ(batch[i], quantile_sorted(xs, qs[i])) << qs[i];
+  }
+}
+
 TEST(QuantileSorted, RejectsNanWithClearError) {
   const double nan = std::numeric_limits<double>::quiet_NaN();
   // NaN sorts to the end under operator<; reading it must throw rather

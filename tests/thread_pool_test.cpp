@@ -35,6 +35,51 @@ TEST(ThreadPool, SubmittedTasksAllRun) {
   EXPECT_EQ(count.load(), 100);
 }
 
+TEST(ThreadPool, TasksSubmittedBeforeShutdownAllRun) {
+  std::atomic<int> count{0};
+  ThreadPool pool{2};
+  for (int i = 0; i < 64; ++i) {
+    pool.submit([&] { count.fetch_add(1); });
+  }
+  // shutdown() drains: workers only exit once every queue is empty.
+  pool.shutdown();
+  EXPECT_EQ(count.load(), 64);
+}
+
+TEST(ThreadPool, SubmitAfterShutdownThrows) {
+  // Regression: a task submitted after stop used to be silently parked in
+  // a queue no worker would ever drain — it must be rejected loudly.
+  ThreadPool pool{2};
+  pool.shutdown();
+  EXPECT_THROW(pool.submit([] {}), InvalidArgument);
+  EXPECT_EQ(pool.size(), 0u);
+  EXPECT_FALSE(pool.run_one());
+  pool.shutdown();  // idempotent
+}
+
+TEST(ThreadPool, RunOneDrainsFromExternalThread) {
+  // A pool whose workers are all busy can still make progress on the
+  // caller's thread — the primitive parallel_for's help-drain loop uses.
+  ThreadPool pool{1};
+  std::atomic<bool> picked{false};
+  std::atomic<bool> release{false};
+  std::atomic<int> ran{0};
+  pool.submit([&] {
+    picked.store(true);
+    while (!release.load()) std::this_thread::yield();
+  });
+  // Wait until the single worker holds the blocker, then queue work that
+  // only run_one() on this thread can reach for now.
+  while (!picked.load()) std::this_thread::yield();
+  for (int i = 0; i < 4; ++i) {
+    pool.submit([&] { ran.fetch_add(1); });
+  }
+  while (pool.run_one()) {
+  }
+  EXPECT_EQ(ran.load(), 4);
+  release.store(true);
+}
+
 TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
   for (const std::size_t threads : {1u, 2u, 5u}) {
     ThreadPool pool{threads};
@@ -84,6 +129,44 @@ TEST(ParallelFor, ResultsIndependentOfThreadCount) {
     EXPECT_EQ(one[i], four[i]) << i;
     EXPECT_EQ(one[i], eight[i]) << i;
   }
+}
+
+TEST(ParallelFor, NestedParallelForDoesNotDeadlock) {
+  // Regression: with the old single-queue pool, an outer parallel_for
+  // occupying every worker would block inside each block's inner
+  // parallel_for, with the inner blocks queued behind the very tasks
+  // waiting on them. Help-draining makes the waiters run them instead.
+  for (const std::size_t threads : {1u, 2u, 4u}) {
+    ThreadPool pool{threads};
+    std::atomic<std::size_t> inner_indices{0};
+    parallel_for(pool, 8, [&](std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) {
+        parallel_for(pool, 32, [&](std::size_t ib, std::size_t ie) {
+          inner_indices.fetch_add(ie - ib);
+        });
+      }
+    });
+    EXPECT_EQ(inner_indices.load(), 8u * 32u) << threads << " threads";
+  }
+}
+
+TEST(ParallelFor, SkewedCostsCoverEveryIndexOnce) {
+  // Adversarial per-index costs (one index ~1000x the rest) exercise the
+  // steal path: the worker stuck on the heavy block loses the rest of
+  // its deque to its peers. Coverage and results must be unaffected.
+  ThreadPool pool{4};
+  std::vector<int> hits(512, 0);
+  std::atomic<std::uint64_t> sink{0};
+  parallel_for(pool, hits.size(), [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      const std::size_t spins = i == 0 ? 200000 : 200;
+      std::uint64_t acc = 0;
+      for (std::size_t s = 0; s < spins; ++s) acc += s * 2654435761u;
+      sink.fetch_add(acc);
+      ++hits[i];
+    }
+  });
+  for (const int h : hits) EXPECT_EQ(h, 1);
 }
 
 TEST(ParallelFor, PropagatesFirstException) {
