@@ -80,6 +80,29 @@ Scorecard run_scorecard(const dataset::StudyDataset& ds) {
             " below coverage floor",
         dropped * 2 <= ds.dasu.size());
   }
+  {
+    // ---- Robustness: the execution layer's own health. ---------------
+    // A shard lost to I/O exhaustion or a deadline means the dataset is
+    // partial — every downstream number still computes, but the scorecard
+    // must say the panel is incomplete.
+    const std::size_t io = ds.qc.count(QuarantineReason::kIoFailure);
+    const std::size_t hung = ds.qc.count(QuarantineReason::kDeadlineExceeded);
+    add("robustness.shard-integrity", "no shards lost to I/O or deadlines",
+        std::to_string(io) + " io-failure, " + std::to_string(hung) +
+            " deadline-exceeded",
+        io + hung == 0);
+    // And every quarantined row must carry a reason this build can name:
+    // an unknown tag would mean the ledger was written by a future (or
+    // corrupt) producer and the accounting above is untrustworthy.
+    std::size_t unlabeled = 0;
+    for (const auto& row : ds.qc.rows) {
+      if (std::string{quarantine_reason_label(row.reason)} == "?") ++unlabeled;
+    }
+    add("robustness.reason-taxonomy", "every quarantined row has a typed reason",
+        std::to_string(unlabeled) + "/" + std::to_string(ds.qc.rows.size()) +
+            " unlabeled",
+        unlabeled == 0);
+  }
 
   // ---- Fig. 1: population characteristics. --------------------------
   const auto fig1 = fig1_characteristics(ds);

@@ -29,8 +29,29 @@ class EmptyColumn : public InvalidArgument {
   using InvalidArgument::InvalidArgument;
 };
 
-/// Thrown on file / parse failures in the dataset layer.
+/// Thrown on file / parse failures in the dataset layer. IoError itself
+/// denotes a *permanent* failure (ENOSPC, EROFS, a missing file): retrying
+/// the same operation cannot succeed, so callers degrade or abort.
 class IoError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// A *transient* I/O failure (EIO on flaky media, EAGAIN, EINTR storms,
+/// fd exhaustion): the same operation may well succeed if retried. The
+/// retry machinery in core/retry.h retries exactly this type — everything
+/// else propagates immediately. Keeping the taxonomy in the type system
+/// means a catch site never has to parse errno strings to decide.
+class TransientIoError : public IoError {
+ public:
+  using IoError::IoError;
+};
+
+/// Thrown cooperatively when a unit of work (a run shard) overruns its
+/// watchdog deadline. Deliberately NOT an IoError: a timeout is neither
+/// transient (retrying a hung shard re-hangs it) nor a storage fault; it
+/// is its own degradation path (quarantine the shard, complete the run).
+class DeadlineExceeded : public std::runtime_error {
  public:
   using std::runtime_error::runtime_error;
 };
@@ -65,7 +86,13 @@ enum class QuarantineReason {
   kInsufficientCoverage,  ///< below the minimum-coverage admission rule
   kChecksumMismatch,      ///< a binary snapshot section failed its checksum
   kFormatMismatch,        ///< a binary snapshot's framing/version is wrong
+  kIoFailure,             ///< a shard exhausted its I/O retries (permanent)
+  kDeadlineExceeded,      ///< a shard overran its watchdog deadline
 };
+
+/// Last enumerator, for tag-validation when decoding persisted reasons.
+inline constexpr QuarantineReason kMaxQuarantineReason =
+    QuarantineReason::kDeadlineExceeded;
 
 [[nodiscard]] const char* quarantine_reason_label(QuarantineReason reason);
 

@@ -1,0 +1,136 @@
+#include "core/fs.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <system_error>
+
+#include "core/error.h"
+
+namespace bblab::core {
+
+namespace {
+
+/// Which half of the error taxonomy an errno belongs to. The transient
+/// set is deliberately small: only conditions where the *same* operation
+/// can plausibly succeed on retry without anything else changing.
+[[nodiscard]] bool errno_is_transient(int err) {
+  switch (err) {
+    case EINTR:
+    case EAGAIN:
+#if defined(EWOULDBLOCK) && EWOULDBLOCK != EAGAIN
+    case EWOULDBLOCK:
+#endif
+    case EIO:
+    case EBUSY:
+    case ETIMEDOUT:
+    case ENFILE:
+    case EMFILE:
+      return true;
+    default:
+      return false;
+  }
+}
+
+[[noreturn]] void throw_errno(const std::string& op, int err) {
+  const std::string message = op + ": " + std::strerror(err);
+  if (errno_is_transient(err)) throw TransientIoError{message};
+  throw IoError{message};
+}
+
+class RealFileSystem final : public FileSystem {
+ public:
+  bool exists(const std::filesystem::path& path) override {
+    std::error_code ec;
+    return std::filesystem::exists(path, ec) && !ec;
+  }
+
+  void create_directories(const std::filesystem::path& path) override {
+    std::error_code ec;
+    std::filesystem::create_directories(path, ec);
+    if (ec) throw_errno("create_directories " + path.string(), ec.value());
+  }
+
+  void write_file(const std::filesystem::path& path,
+                  std::string_view data) override {
+    const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                          0644);
+    if (fd < 0) throw_errno("open " + path.string(), errno);
+    std::size_t written = 0;
+    while (written < data.size()) {
+      const ::ssize_t n = ::write(fd, data.data() + written, data.size() - written);
+      if (n < 0) {
+        if (errno == EINTR) continue;  // plain retry; no progress lost
+        const int err = errno;
+        ::close(fd);
+        throw_errno("write " + path.string(), err);
+      }
+      written += static_cast<std::size_t>(n);
+    }
+    // fsync before close: rename-based publish is only atomic *and*
+    // durable if the bytes hit stable storage before the name does.
+    if (::fsync(fd) != 0) {
+      const int err = errno;
+      ::close(fd);
+      throw_errno("fsync " + path.string(), err);
+    }
+    if (::close(fd) != 0) throw_errno("close " + path.string(), errno);
+  }
+
+  std::string read_file(const std::filesystem::path& path) override {
+    const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0) throw_errno("open " + path.string(), errno);
+    std::string out;
+    char buf[1 << 16];
+    for (;;) {
+      const ::ssize_t n = ::read(fd, buf, sizeof buf);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        const int err = errno;
+        ::close(fd);
+        throw_errno("read " + path.string(), err);
+      }
+      if (n == 0) break;
+      out.append(buf, static_cast<std::size_t>(n));
+    }
+    ::close(fd);
+    return out;
+  }
+
+  void rename(const std::filesystem::path& from,
+              const std::filesystem::path& to) override {
+    if (std::rename(from.c_str(), to.c_str()) != 0) {
+      throw_errno("rename " + from.string() + " -> " + to.string(), errno);
+    }
+  }
+
+  bool remove(const std::filesystem::path& path) override {
+    if (::unlink(path.c_str()) == 0) return true;
+    if (errno == ENOENT) return false;
+    throw_errno("remove " + path.string(), errno);
+  }
+};
+
+std::atomic<FileSystem*> g_instance{nullptr};
+
+}  // namespace
+
+FileSystem& FileSystem::system() {
+  static RealFileSystem fs;
+  return fs;
+}
+
+FileSystem& FileSystem::instance() {
+  FileSystem* fs = g_instance.load(std::memory_order_acquire);
+  return fs != nullptr ? *fs : system();
+}
+
+void FileSystem::set_instance(FileSystem* fs) {
+  g_instance.store(fs, std::memory_order_release);
+}
+
+}  // namespace bblab::core

@@ -16,6 +16,8 @@ const char* quarantine_reason_label(QuarantineReason reason) {
     case QuarantineReason::kInsufficientCoverage: return "insufficient-coverage";
     case QuarantineReason::kChecksumMismatch: return "checksum-mismatch";
     case QuarantineReason::kFormatMismatch: return "format-mismatch";
+    case QuarantineReason::kIoFailure: return "io-failure";
+    case QuarantineReason::kDeadlineExceeded: return "deadline-exceeded";
   }
   return "?";
 }
@@ -54,12 +56,13 @@ std::string QuarantineReport::summary() const {
   os << rows.size() << "/" << total() << " quarantined";
   if (rows.empty()) return os.str();
   // Enumerate reasons in taxonomy order so the summary is deterministic.
-  constexpr std::array<QuarantineReason, 9> kAll{
+  constexpr std::array<QuarantineReason, 11> kAll{
       QuarantineReason::kMalformedRow,     QuarantineReason::kWrongFieldCount,
       QuarantineReason::kBadValue,         QuarantineReason::kDuplicateKey,
       QuarantineReason::kHouseholdFailure, QuarantineReason::kInjectedFault,
       QuarantineReason::kInsufficientCoverage,
-      QuarantineReason::kChecksumMismatch, QuarantineReason::kFormatMismatch};
+      QuarantineReason::kChecksumMismatch, QuarantineReason::kFormatMismatch,
+      QuarantineReason::kIoFailure,        QuarantineReason::kDeadlineExceeded};
   os << " (";
   bool first = true;
   for (const auto reason : kAll) {

@@ -1,0 +1,84 @@
+// Bounded retry with exponential backoff and deterministic jitter.
+//
+// The storage layer classifies I/O failures into transient vs permanent
+// (core/error.h): with_retry() re-attempts an operation only on
+// TransientIoError, sleeping an exponentially growing, jittered delay
+// between attempts, and gives up after a bounded number of tries — so a
+// genuinely flaky disk is ridden out in milliseconds while ENOSPC or a
+// hung shard fails fast into the quarantine/degradation path.
+//
+// Jitter is drawn from core::Rng, not wall-clock entropy: given the same
+// policy and rng seed the delay schedule is bit-reproducible, which keeps
+// fault-injection tests deterministic and lets production runs log a
+// replayable backoff trace.
+#pragma once
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "core/error.h"
+#include "core/logging.h"
+#include "core/rng.h"
+
+namespace bblab::core {
+
+struct RetryPolicy {
+  /// Total attempts, the first included. 1 disables retrying.
+  int max_attempts{4};
+  double base_delay_ms{5.0};
+  double multiplier{2.0};
+  double max_delay_ms{250.0};
+  /// Delay is scaled by a uniform factor in [1-jitter, 1+jitter] so
+  /// contending retriers decorrelate instead of thundering together.
+  double jitter{0.5};
+};
+
+/// The delay before retry number `attempt` (1-based: the delay after the
+/// first failure is backoff_delay_ms(policy, 1, rng)). Deterministic in
+/// (policy, rng state).
+[[nodiscard]] inline double backoff_delay_ms(const RetryPolicy& policy, int attempt,
+                                             Rng& rng) {
+  double delay = policy.base_delay_ms;
+  for (int i = 1; i < attempt; ++i) delay *= policy.multiplier;
+  if (delay > policy.max_delay_ms) delay = policy.max_delay_ms;
+  const double factor = 1.0 + policy.jitter * (2.0 * rng.uniform() - 1.0);
+  return delay * factor;
+}
+
+/// Run `fn`, retrying on TransientIoError up to policy.max_attempts total
+/// attempts with jittered exponential backoff between them. Permanent
+/// IoError (and every other exception) propagates immediately; once
+/// attempts are exhausted the last TransientIoError propagates. `sleep`
+/// receives the delay in milliseconds — tests pass a recorder, production
+/// callers use the overload below which really sleeps.
+template <typename F, typename Sleep>
+auto with_retry(const RetryPolicy& policy, Rng& rng, const std::string& what, F&& fn,
+                Sleep&& sleep) -> decltype(fn()) {
+  for (int attempt = 1;; ++attempt) {
+    try {
+      return fn();
+    } catch (const TransientIoError& e) {
+      if (attempt >= policy.max_attempts) {
+        log_warn(what, ": transient I/O failure persisted through ", attempt,
+                 " attempts, giving up (", e.what(), ")");
+        throw;
+      }
+      const double delay_ms = backoff_delay_ms(policy, attempt, rng);
+      log_warn(what, ": transient I/O failure (attempt ", attempt, "/",
+               policy.max_attempts, "), retrying in ", delay_ms, " ms: ", e.what());
+      sleep(delay_ms);
+    }
+  }
+}
+
+template <typename F>
+auto with_retry(const RetryPolicy& policy, Rng& rng, const std::string& what, F&& fn)
+    -> decltype(fn()) {
+  return with_retry(policy, rng, what, std::forward<F>(fn), [](double delay_ms) {
+    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>{delay_ms});
+  });
+}
+
+}  // namespace bblab::core

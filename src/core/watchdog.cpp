@@ -1,0 +1,56 @@
+#include "core/watchdog.h"
+
+#include <algorithm>
+
+#include "core/logging.h"
+
+namespace bblab::core {
+
+Watchdog::Watchdog(double scan_interval_s)
+    : interval_{scan_interval_s}, thread_{[this] { scan_loop(); }} {}
+
+Watchdog::~Watchdog() {
+  {
+    const std::lock_guard<std::mutex> lock{mutex_};
+    stop_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+}
+
+void Watchdog::Guard::release() {
+  if (dog_ != nullptr) dog_->unwatch(id_);
+  dog_ = nullptr;
+}
+
+Watchdog::Guard Watchdog::watch(std::string label, const Deadline& deadline) {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  const std::uint64_t id = next_id_++;
+  entries_.push_back({id, std::move(label), &deadline, false});
+  return Guard{this, id};
+}
+
+void Watchdog::unwatch(std::uint64_t id) {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  entries_.erase(std::remove_if(entries_.begin(), entries_.end(),
+                                [id](const Entry& e) { return e.id == id; }),
+                 entries_.end());
+}
+
+void Watchdog::scan_loop() {
+  std::unique_lock<std::mutex> lock{mutex_};
+  while (!stop_) {
+    cv_.wait_for(lock, interval_, [this] { return stop_; });
+    if (stop_) return;
+    for (Entry& entry : entries_) {
+      if (entry.reported || !entry.deadline->expired()) continue;
+      entry.reported = true;
+      expired_.fetch_add(1, std::memory_order_relaxed);
+      log_warn("watchdog: ", entry.label, " exceeded its ",
+               entry.deadline->seconds(), " s deadline (running ",
+               entry.deadline->elapsed_s(), " s); degrading when it next polls");
+    }
+  }
+}
+
+}  // namespace bblab::core

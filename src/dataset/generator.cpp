@@ -6,11 +6,14 @@
 
 #include <optional>
 
+#include <atomic>
+
 #include "behavior/caps.h"
 #include "core/error.h"
 #include "core/hash.h"
 #include "core/logging.h"
 #include "core/thread_pool.h"
+#include "core/watchdog.h"
 #include "measurement/pipeline.h"
 #include "netsim/fluid.h"
 
@@ -220,19 +223,124 @@ std::map<std::string, MarketSnapshot> StudyGenerator::build_markets(Rng& rng) co
   return markets;
 }
 
-StudyDataset StudyGenerator::generate() const {
+std::map<std::string, MarketSnapshot> StudyGenerator::build_markets() const {
   Rng root{config_.seed};
-  StudyDataset ds;
-  ds.config = config_;
-  ds.markets = build_markets(root);
+  return build_markets(root);
+}
 
-  Toolkit kit{config_.first_year};
-  if (!config_.faults.empty()) {
-    kit.faults = &config_.faults;
-    log_info("fault injection active: ", config_.faults.summary());
+std::string ShardSpec::label() const {
+  return "shard " + std::to_string(index) + " (" +
+         (kind == Kind::kDasu ? "dasu " : "fcc ") + country_code + " y" +
+         std::to_string(year_index) + ", users " + std::to_string(base_id) + ".." +
+         std::to_string(base_id + n_users - 1) + ")";
+}
+
+void merge_shard_output(StudyDataset& ds, const ShardSpec& spec, ShardOutput&& out) {
+  auto& records = spec.kind == ShardSpec::Kind::kDasu ? ds.dasu : ds.fcc;
+  records.insert(records.end(), std::make_move_iterator(out.records.begin()),
+                 std::make_move_iterator(out.records.end()));
+  ds.upgrades.insert(ds.upgrades.end(),
+                     std::make_move_iterator(out.upgrades.begin()),
+                     std::make_move_iterator(out.upgrades.end()));
+  ds.qc.merge(out.qc);
+}
+
+std::vector<ShardSpec> StudyGenerator::plan_shards(
+    const std::map<std::string, MarketSnapshot>& markets) const {
+  // This walk must mirror generate()'s exactly — same country order, same
+  // empty-catalog skips (before any ids are consumed), same per-year user
+  // counts — so shard user-id ranges tile [1, next_user_id) identically.
+  const int years = config_.last_year - config_.first_year + 1;
+  std::vector<ShardSpec> shards;
+  std::uint64_t next_user_id = 1;
+  for (const auto& country : world_.countries()) {
+    if (markets.at(country.code).catalog.empty()) continue;
+    for (int yi = 0; yi < years; ++yi) {
+      const double growth = std::pow(config_.annual_subscriber_growth, yi);
+      const auto n_users = static_cast<std::size_t>(
+          std::max(1.0, std::round(country.sample_weight * config_.population_scale *
+                                   growth)));
+      ShardSpec spec;
+      spec.index = shards.size();
+      spec.kind = ShardSpec::Kind::kDasu;
+      spec.country_code = country.code;
+      spec.year_index = yi;
+      spec.base_id = next_user_id;
+      spec.n_users = n_users;
+      shards.push_back(std::move(spec));
+      next_user_id += n_users;
+    }
   }
-  core::ThreadPool pool{config_.threads};
-  log_debug("simulating households on ", pool.size(), " threads");
+  const auto& us = world_.contains("US") ? world_.at("US") : world_.countries().front();
+  const auto per_year = std::max<std::size_t>(
+      1, config_.fcc_users / static_cast<std::size_t>(years));
+  for (int yi = 0; yi < years; ++yi) {
+    ShardSpec spec;
+    spec.index = shards.size();
+    spec.kind = ShardSpec::Kind::kFcc;
+    spec.country_code = us.code;
+    spec.year_index = yi;
+    spec.base_id = next_user_id;
+    spec.n_users = per_year;
+    shards.push_back(std::move(spec));
+    next_user_id += per_year;
+  }
+  return shards;
+}
+
+namespace {
+
+/// The shared parallel scaffold of simulate_shard: fan `simulate_user`
+/// out over the shard's id range, polling `deadline` between households,
+/// and fold the outcomes into `out` in id order.
+template <typename SimulateUser>
+void run_shard_users(const dataset::ShardSpec& spec, core::ThreadPool& pool,
+                     const core::Deadline* deadline, const SimulateUser& simulate_user,
+                     bool keep_upgrades, ShardOutput& out) {
+  std::vector<UserOutcome> outcomes(spec.n_users);
+  std::atomic<bool> overran{false};
+  core::parallel_for(pool, spec.n_users, [&](std::size_t begin, std::size_t end) {
+    // One fluid workspace per block: each worker simulates all its
+    // households allocation-free after the first warms the buffers.
+    netsim::FluidWorkspace ws;
+    for (std::size_t u = begin; u < end; ++u) {
+      if (deadline != nullptr && deadline->expired()) {
+        // First block to notice throws (parallel_for rethrows it after
+        // all blocks settle); the rest bail quietly to drain fast.
+        if (!overran.exchange(true)) {
+          throw DeadlineExceeded{spec.label() + " overran its " +
+                                 std::to_string(deadline->seconds()) +
+                                 " s deadline after " +
+                                 std::to_string(deadline->elapsed_s()) + " s"};
+        }
+        return;
+      }
+      outcomes[u] = guarded_user(spec.base_id + u, ws, simulate_user);
+    }
+  });
+  for (auto& o : outcomes) {
+    if (o.failure) {
+      out.qc.add(o.failure->index, o.failure->reason, o.failure->raw,
+                 o.failure->detail);
+      continue;
+    }
+    out.qc.note_admitted();
+    if (o.record) out.records.push_back(std::move(*o.record));
+    if (keep_upgrades && o.upgrade) out.upgrades.push_back(std::move(*o.upgrade));
+  }
+}
+
+}  // namespace
+
+ShardOutput StudyGenerator::simulate_shard(
+    const ShardSpec& spec, const std::map<std::string, MarketSnapshot>& markets,
+    core::ThreadPool& pool, const core::Deadline* deadline) const {
+  // Reconstruct the monolithic run's RNG lineage from scratch: fork() is
+  // const, so the root/country streams a shard derives here are the very
+  // streams generate()'s walk would have handed it.
+  Rng root{config_.seed};
+  Toolkit kit{config_.first_year};
+  if (!config_.faults.empty()) kit.faults = &config_.faults;
   behavior::DemandModelParams demand_params;
   demand_params.capacity_effect = !config_.disable_capacity_effect;
   demand_params.pressure_effect = !config_.disable_pressure_effect;
@@ -241,33 +349,26 @@ StudyDataset StudyGenerator::generate() const {
   if (config_.placebo) demand = demand.placebo();
 
   const int years = config_.last_year - config_.first_year + 1;
-  std::uint64_t next_user_id = 1;
+  const int yi = spec.year_index;
+  // Center need growth on the middle study year so the pooled capacity
+  // distribution matches the country anchors the choice model was
+  // calibrated against.
+  const double need_scale =
+      std::pow(config_.annual_need_growth,
+               static_cast<double>(yi) - static_cast<double>(years - 1) / 2.0);
+  ShardOutput out;
 
-  for (const auto& country : world_.countries()) {
-    const MarketSnapshot& snap = ds.markets.at(country.code);
-    if (snap.catalog.empty()) continue;
+  if (spec.kind == ShardSpec::Kind::kDasu) {
+    const auto& country = world_.at(spec.country_code);
+    const MarketSnapshot& snap = markets.at(spec.country_code);
+    const int year = config_.first_year + yi;
     Rng country_rng = root.fork(0x5151 ^ std::hash<std::string>{}(country.code));
 
-    for (int yi = 0; yi < years; ++yi) {
-      const int year = config_.first_year + yi;
-      const double growth = std::pow(config_.annual_subscriber_growth, yi);
-      const auto n_users = static_cast<std::size_t>(
-          std::max(1.0, std::round(country.sample_weight * config_.population_scale *
-                                   growth)));
-      // Center need growth on the middle study year so the pooled capacity
-      // distribution matches the country anchors the choice model was
-      // calibrated against.
-      const double need_scale = std::pow(
-          config_.annual_need_growth,
-          static_cast<double>(yi) - static_cast<double>(years - 1) / 2.0);
-
-      // Each household depends only on its forked RNG substream (keyed
-      // by user id) and read-only market/toolkit state, so the per-user
-      // bodies shard freely across the pool; outcomes land in id-order
-      // slots and are appended below in that order.
-      const std::uint64_t base_id = next_user_id;
-      next_user_id += n_users;
-      const auto simulate_user = [&](std::uint64_t user_id,
+    // Each household depends only on its forked RNG substream (keyed
+    // by user id) and read-only market/toolkit state, so the per-user
+    // bodies shard freely across the pool; outcomes land in id-order
+    // slots and are appended in that order.
+    const auto simulate_user = [&](std::uint64_t user_id,
                                      netsim::FluidWorkspace& ws) -> UserOutcome {
         UserOutcome out;
         Rng rng = country_rng.fork(user_id);
@@ -406,43 +507,15 @@ StudyDataset StudyGenerator::generate() const {
         return out;
       };
 
-      std::vector<UserOutcome> outcomes(n_users);
-      core::parallel_for(pool, n_users, [&](std::size_t begin, std::size_t end) {
-        // One fluid workspace per block: each worker simulates all its
-        // households allocation-free after the first warms the buffers.
-        netsim::FluidWorkspace ws;
-        for (std::size_t u = begin; u < end; ++u) {
-          outcomes[u] = guarded_user(base_id + u, ws, simulate_user);
-        }
-      });
-      for (auto& out : outcomes) {
-        if (out.failure) {
-          ds.qc.add(out.failure->index, out.failure->reason, out.failure->raw,
-                    out.failure->detail);
-          continue;
-        }
-        ds.qc.note_admitted();
-        if (out.record) ds.dasu.push_back(std::move(*out.record));
-        if (out.upgrade) ds.upgrades.push_back(std::move(*out.upgrade));
-      }
-      log_debug("generated ", country.code, " year ", year, ": ", n_users, " users");
-    }
-  }
-
-  // FCC panel: US households on gateway instruments, spread across years.
-  {
-    const auto& us = world_.contains("US") ? world_.at("US") : world_.countries().front();
-    const MarketSnapshot& snap = ds.markets.at(us.code);
+    run_shard_users(spec, pool, deadline, simulate_user, /*keep_upgrades=*/true, out);
+    log_debug("generated ", country.code, " year ", year, ": ", spec.n_users,
+              " users");
+  } else {
+    // FCC panel: US households on gateway instruments, spread across years.
+    const auto& us = world_.at(spec.country_code);
+    const MarketSnapshot& snap = markets.at(us.code);
     Rng fcc_rng = root.fork(0xFCC);
-    const auto per_year = std::max<std::size_t>(
-        1, config_.fcc_users / static_cast<std::size_t>(years));
-    for (int yi = 0; yi < years; ++yi) {
-      const double need_scale = std::pow(
-          config_.annual_need_growth,
-          static_cast<double>(yi) - static_cast<double>(years - 1) / 2.0);
-      const std::uint64_t base_id = next_user_id;
-      next_user_id += per_year;
-      const auto simulate_user = [&](std::uint64_t user_id,
+    const auto simulate_user = [&](std::uint64_t user_id,
                                      netsim::FluidWorkspace& ws) -> UserOutcome {
         UserOutcome out;
         Rng rng = fcc_rng.fork(user_id);
@@ -496,23 +569,25 @@ StudyDataset StudyGenerator::generate() const {
         return out;
       };
 
-      std::vector<UserOutcome> outcomes(per_year);
-      core::parallel_for(pool, per_year, [&](std::size_t begin, std::size_t end) {
-        netsim::FluidWorkspace ws;
-        for (std::size_t u = begin; u < end; ++u) {
-          outcomes[u] = guarded_user(base_id + u, ws, simulate_user);
-        }
-      });
-      for (auto& out : outcomes) {
-        if (out.failure) {
-          ds.qc.add(out.failure->index, out.failure->reason, out.failure->raw,
-                    out.failure->detail);
-          continue;
-        }
-        ds.qc.note_admitted();
-        if (out.record) ds.fcc.push_back(std::move(*out.record));
-      }
-    }
+    run_shard_users(spec, pool, deadline, simulate_user, /*keep_upgrades=*/false,
+                    out);
+  }
+  return out;
+}
+
+StudyDataset StudyGenerator::generate() const {
+  StudyDataset ds;
+  ds.config = config_;
+  ds.markets = build_markets();
+
+  if (!config_.faults.empty()) {
+    log_info("fault injection active: ", config_.faults.summary());
+  }
+  core::ThreadPool pool{config_.threads};
+  log_debug("simulating households on ", pool.size(), " threads");
+
+  for (const ShardSpec& spec : plan_shards(ds.markets)) {
+    merge_shard_output(ds, spec, simulate_shard(spec, ds.markets, pool));
   }
 
   if (!ds.qc.empty()) {

@@ -12,7 +12,9 @@
 // year-invariant demand model (the §4 ground truth).
 #pragma once
 
+#include <cstdint>
 #include <map>
+#include <string>
 #include <vector>
 
 #include "behavior/demand.h"
@@ -29,7 +31,9 @@
 #include "netsim/workload.h"
 
 namespace bblab::core {
+class Deadline;
 class Hasher;
+class ThreadPool;
 }
 
 namespace bblab::dataset {
@@ -117,6 +121,38 @@ struct StudyDataset {
   [[nodiscard]] std::vector<const UserRecord*> dasu_in(const std::string& country) const;
 };
 
+/// One independently simulatable unit of a study run: all households of
+/// one (country, study-year) cross-section on one instrument. Shards are
+/// the checkpoint/restart granularity — each depends only on config.seed
+/// and read-only market state (per-user RNG substreams are forked from a
+/// reconstructed root, never from a shared mutable stream), so any subset
+/// can be re-simulated in any order and merged by `index` into a dataset
+/// byte-identical to the monolithic run.
+struct ShardSpec {
+  enum class Kind : std::uint8_t { kDasu, kFcc };
+
+  std::size_t index{0};       ///< merge position (also quarantine index)
+  Kind kind{Kind::kDasu};
+  std::string country_code;
+  int year_index{0};          ///< 0-based offset from config.first_year
+  std::uint64_t base_id{1};   ///< first user id in this shard
+  std::size_t n_users{0};
+
+  /// e.g. "shard 7 (dasu DE y1, users 301..420)".
+  [[nodiscard]] std::string label() const;
+};
+
+/// What one simulated shard contributes to the dataset.
+struct ShardOutput {
+  std::vector<UserRecord> records;  ///< dasu or fcc per ShardSpec::kind
+  std::vector<UpgradeObservation> upgrades;
+  core::QuarantineReport qc;
+};
+
+/// Append `out` to the dataset in the slot `spec` describes. Calling this
+/// for every planned shard in index order reproduces generate() exactly.
+void merge_shard_output(StudyDataset& ds, const ShardSpec& spec, ShardOutput&& out);
+
 class StudyGenerator {
  public:
   StudyGenerator(const market::World& world, StudyConfig config);
@@ -126,6 +162,24 @@ class StudyGenerator {
 
   /// Build only the market snapshots (fast; used by market-only benches).
   [[nodiscard]] std::map<std::string, MarketSnapshot> build_markets(Rng& rng) const;
+  /// Same, from a root RNG freshly seeded with config.seed (what
+  /// generate() does internally).
+  [[nodiscard]] std::map<std::string, MarketSnapshot> build_markets() const;
+
+  /// Deterministically split the run into shards: one per non-empty
+  /// (country, year) Dasu cross-section in world order, then one per FCC
+  /// panel year. User-id ranges match the monolithic generate() walk.
+  [[nodiscard]] std::vector<ShardSpec> plan_shards(
+      const std::map<std::string, MarketSnapshot>& markets) const;
+
+  /// Simulate one shard. Depends only on (config, world, markets) — no
+  /// state is shared between calls, so shards may run in any order or
+  /// process. If `deadline` is set it is polled between households and
+  /// overruns throw core::DeadlineExceeded (the caller quarantines the
+  /// shard; partial output is discarded).
+  [[nodiscard]] ShardOutput simulate_shard(
+      const ShardSpec& spec, const std::map<std::string, MarketSnapshot>& markets,
+      core::ThreadPool& pool, const core::Deadline* deadline = nullptr) const;
 
  private:
   struct SimContext;  // internal helpers defined in the .cpp

@@ -1,14 +1,19 @@
 #include "store/bbs.h"
 
+#include <unistd.h>
+
+#include <atomic>
 #include <bit>
 #include <cstring>
 #include <fstream>
 #include <istream>
 #include <limits>
 #include <ostream>
+#include <sstream>
 #include <utility>
 
 #include "behavior/archetype.h"
+#include "core/fs.h"
 #include "core/hash.h"
 
 namespace bblab::store {
@@ -447,7 +452,7 @@ core::QuarantineReport decode_qc(ByteReader& r) {
     core::QuarantinedRow row;
     row.index = r.u64();
     const std::uint8_t reason = r.u8();
-    if (reason > static_cast<std::uint8_t>(QuarantineReason::kFormatMismatch)) {
+    if (reason > static_cast<std::uint8_t>(kMaxQuarantineReason)) {
       throw SnapshotError{QuarantineReason::kBadValue,
                           "invalid quarantine reason tag " + std::to_string(reason)};
     }
@@ -657,23 +662,55 @@ void write_snapshot(std::ostream& out, const dataset::StudyDataset& ds) {
   if (!out) throw IoError{"write_snapshot: stream write failed"};
 }
 
-void write_snapshot_file(const std::filesystem::path& path,
-                         const dataset::StudyDataset& ds) {
-  if (path.has_parent_path()) {
-    std::filesystem::create_directories(path.parent_path());
-  }
-  const std::filesystem::path tmp = path.string() + ".tmp";
-  {
-    std::ofstream out{tmp, std::ios::binary | std::ios::trunc};
-    if (!out) throw IoError{"write_snapshot_file: cannot open " + tmp.string()};
-    write_snapshot(out, ds);
-    out.flush();
-    if (!out) throw IoError{"write_snapshot_file: write failed for " + tmp.string()};
-  }
-  std::filesystem::rename(tmp, path);  // atomic publish on POSIX
+std::filesystem::path snapshot_tmp_path(const std::filesystem::path& path) {
+  // Unique per process so two writers racing on the same entry never
+  // scribble on each other's temp file; the rename decides the winner.
+  static std::atomic<std::uint64_t> counter{0};
+  const std::uint64_t n = counter.fetch_add(1, std::memory_order_relaxed);
+  return path.string() + ".p" + std::to_string(::getpid()) + "." +
+         std::to_string(n) + ".tmp";
 }
 
-dataset::StudyDataset read_snapshot(std::istream& in, const market::World& world) {
+void write_snapshot_file(const std::filesystem::path& path,
+                         const dataset::StudyDataset& ds, core::FileSystem& fs) {
+  if (path.has_parent_path()) fs.create_directories(path.parent_path());
+  std::ostringstream buffer{std::ios::binary};
+  write_snapshot(buffer, ds);
+  const std::filesystem::path tmp = snapshot_tmp_path(path);
+  try {
+    fs.write_file(tmp, buffer.view());
+    fs.rename(tmp, path);  // atomic publish on POSIX
+  } catch (...) {
+    // Best-effort residue cleanup; the original failure is the story.
+    try {
+      fs.remove(tmp);
+    } catch (...) {
+    }
+    throw;
+  }
+}
+
+namespace {
+
+/// Convert stray exceptions (ios failures, std::bad_alloc from a bogus
+/// reserve, length_error...) into the typed rejection the API promises:
+/// a damaged snapshot file always surfaces as SnapshotError, never as an
+/// uncaught implementation detail.
+template <typename Fn>
+auto guard_decode(const char* what, Fn&& fn) -> decltype(fn()) {
+  try {
+    return fn();
+  } catch (const SnapshotError&) {
+    throw;
+  } catch (const std::exception& e) {
+    throw SnapshotError{QuarantineReason::kFormatMismatch,
+                        std::string{what} + ": unexpected decode failure: " +
+                            e.what()};
+  }
+}
+
+dataset::StudyDataset read_snapshot_impl(std::istream& in,
+                                         const market::World& world) {
   const SnapshotInfo info = read_index(in);
   dataset::StudyDataset ds;
   // One section buffer lives at a time; each decoder streams its columns
@@ -717,6 +754,13 @@ dataset::StudyDataset read_snapshot(std::istream& in, const market::World& world
   return ds;
 }
 
+}  // namespace
+
+dataset::StudyDataset read_snapshot(std::istream& in, const market::World& world) {
+  return guard_decode("read_snapshot",
+                      [&] { return read_snapshot_impl(in, world); });
+}
+
 dataset::StudyDataset read_snapshot_file(const std::filesystem::path& path,
                                          const market::World& world) {
   std::ifstream in{path, std::ios::binary};
@@ -724,7 +768,9 @@ dataset::StudyDataset read_snapshot_file(const std::filesystem::path& path,
   return read_snapshot(in, world);
 }
 
-SnapshotInfo inspect_snapshot(std::istream& in) { return read_index(in); }
+SnapshotInfo inspect_snapshot(std::istream& in) {
+  return guard_decode("inspect_snapshot", [&] { return read_index(in); });
+}
 
 namespace {
 

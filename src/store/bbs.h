@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "core/error.h"
+#include "core/fs.h"
 #include "dataset/generator.h"
 
 namespace bblab::store {
@@ -63,11 +64,15 @@ class SnapshotError : public IoError {
 /// Serialize a full dataset. The stream must be binary-mode.
 void write_snapshot(std::ostream& out, const dataset::StudyDataset& ds);
 
-/// Atomic file write: serialize to `<path>.tmp` in the same directory,
-/// then rename over `path` — a crashed writer never leaves a torn
-/// snapshot where a reader (or the cache) will find one.
+/// Atomic file write: serialize to a process-unique `<path>.p<pid>.N.tmp`
+/// in the same directory, then rename over `path` — a crashed writer
+/// never leaves a torn snapshot where a reader (or the cache) will find
+/// one, and concurrent writers of the same path cannot cross-scribble.
+/// All I/O goes through `fs`, the injection point the fault-injection
+/// harness (src/faults/fs_faults.h) and the retry layer hook into.
 void write_snapshot_file(const std::filesystem::path& path,
-                         const dataset::StudyDataset& ds);
+                         const dataset::StudyDataset& ds,
+                         core::FileSystem& fs = core::FileSystem::instance());
 
 /// Deserialize a snapshot. MarketSnapshot::country pointers are rebound
 /// into `world` (a snapshot referencing a country the world does not

@@ -1,6 +1,7 @@
 #include "store/cache.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
 #include <iostream>
 #include <system_error>
@@ -23,6 +24,44 @@ std::optional<std::string> env(const char* name) {
 
 ArtifactCache::ArtifactCache(std::filesystem::path root) : root_{std::move(root)} {
   require(!root_.empty(), "ArtifactCache: empty root directory");
+  // A writer killed mid-store leaves a *.tmp behind that nothing will
+  // ever rename. Sweeping on open keeps the cache self-healing without a
+  // separate gc command; the age threshold protects live writers.
+  sweep_stale_tmp();
+}
+
+std::size_t ArtifactCache::sweep_stale_tmp() const {
+  double ttl_s = 3600.0;
+  if (const auto v = env("BBLAB_CACHE_TMP_TTL_S")) {
+    try {
+      ttl_s = std::stod(*v);
+    } catch (const std::exception&) {
+      // Unparseable override: keep the default rather than failing open.
+    }
+  }
+  std::size_t removed = 0;
+  const std::filesystem::path objects = root_ / "objects";
+  std::error_code ec;
+  if (!std::filesystem::is_directory(objects, ec) || ec) return removed;
+  const auto now = std::filesystem::file_time_type::clock::now();
+  for (const auto& entry :
+       std::filesystem::recursive_directory_iterator{objects, ec}) {
+    if (ec) break;
+    if (!entry.is_regular_file() || entry.path().extension() != ".tmp") continue;
+    std::error_code fec;
+    const auto mtime = std::filesystem::last_write_time(entry.path(), fec);
+    if (fec) continue;
+    const double age_s =
+        std::chrono::duration<double>{now - mtime}.count();
+    if (age_s < ttl_s) continue;  // possibly a live writer's file
+    std::error_code rec;
+    if (std::filesystem::remove(entry.path(), rec) && !rec) {
+      std::cerr << "bblab: note: swept stale cache temp file " << entry.path()
+                << "\n";
+      ++removed;
+    }
+  }
+  return removed;
 }
 
 std::filesystem::path ArtifactCache::default_root() {
@@ -60,7 +99,15 @@ std::optional<dataset::StudyDataset> ArtifactCache::load(
 std::filesystem::path ArtifactCache::store(const Fingerprint& key,
                                            const dataset::StudyDataset& ds) const {
   const std::filesystem::path path = entry_path(key);
-  write_snapshot_file(path, ds);  // creates parents, writes tmp, renames
+  // Loser-discard under contention: the cache is content-addressed, so a
+  // present entry already holds the bytes we would write. Skipping the
+  // write (rather than racing the rename) is both cheaper and keeps two
+  // concurrent publishers from doing double work; write_snapshot_file's
+  // process-unique temp name + atomic rename covers the window where
+  // both pass this check.
+  std::error_code ec;
+  if (std::filesystem::exists(path, ec) && !ec) return path;
+  write_snapshot_file(path, ds);  // creates parents, writes unique tmp, renames
   return path;
 }
 

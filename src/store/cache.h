@@ -69,6 +69,13 @@ class ArtifactCache {
   /// Remove every entry; returns how many were removed.
   std::size_t clear() const;
 
+  /// Remove `*.tmp` residue under objects/ left by writers that died
+  /// before their atomic rename, if older than $BBLAB_CACHE_TMP_TTL_S
+  /// seconds (default 3600 — young temp files may belong to a live
+  /// writer). Runs automatically on construction; returns the count
+  /// removed. Never throws: sweeping is best-effort hygiene.
+  std::size_t sweep_stale_tmp() const;
+
  private:
   std::filesystem::path root_;
 };

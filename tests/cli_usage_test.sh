@@ -49,6 +49,13 @@ check "cat no path"             "$BBLAB" cat
 check "cache no subcommand"     "$BBLAB" cache
 check "cache bad subcommand"    "$BBLAB" cache frobnicate
 check "cache rm no key"         "$BBLAB" cache rm
+check "checkpoint missing dir"  "$BBLAB" generate --checkpoint
+check "resume sans checkpoint"  "$BBLAB" generate --resume
+check "deadline missing value"  "$BBLAB" generate --deadline
+check "retries zero"            "$BBLAB" generate --retries 0
+check "fs-faults missing spec"  "$BBLAB" generate --fs-faults
+check "fs-faults bad spec"      "$BBLAB" generate --fs-faults bogus@3
+check "fs-faults bad index"     "$BBLAB" generate --fs-faults eio@x
 
 if [ "$fails" -ne 0 ]; then
   exit 1

@@ -1,0 +1,80 @@
+#!/usr/bin/env bash
+# Crash/resume acceptance check for the checkpointed execution layer:
+# SIGKILL the generator at randomized filesystem-operation indices (the
+# kill@N fault fires mid-write, leaving torn segments and stale tmp
+# files), resume, and demand the final dataset be byte-identical — by
+# md5, at 1 / 2 / 8 threads — to an uninterrupted run. Also checks the
+# injected-crash exit code (64) and the degraded-run exit code (4) with
+# a clean resume healing the quarantined shard.
+set -u
+
+BBLAB=$1
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+ARGS="--seed 99 --scale 0.02 --days 0.3"
+fails=0
+
+fail() {
+  echo "FAIL: $*"
+  fails=1
+}
+
+md5_tree() {
+  (cd "$1" && find . -type f | sort | xargs md5sum) | md5sum | cut -d' ' -f1
+}
+
+for t in 1 2 8; do
+  "$BBLAB" generate $ARGS --threads "$t" --out "$WORK/base$t" >/dev/null 2>&1 \
+    || fail "baseline generate --threads $t exited non-zero"
+  base=$(md5_tree "$WORK/base$t")
+  echo "baseline md5 @$t threads: $base"
+
+  # --- SIGKILL at randomized op indices, then resume ------------------------
+  ckpt="$WORK/ckpt_kill$t"
+  for k in 3 9 17 33 65 $((RANDOM % 800 + 100)); do
+    "$BBLAB" generate $ARGS --threads "$t" --checkpoint "$ckpt" --resume \
+      --fs-faults "kill@$k" --out "$WORK/killed" >/dev/null 2>&1
+    code=$?
+    # 137 = killed mid-run; 0 = the op index was past the end of the run
+    # (everything already checkpointed); 4 would mean a shard was lost,
+    # which a SIGKILL must never cause.
+    if [ "$code" -ne 137 ] && [ "$code" -ne 0 ]; then
+      fail "kill@$k @$t threads: exit code $code, want 137 or 0"
+    fi
+  done
+  "$BBLAB" generate $ARGS --threads "$t" --checkpoint "$ckpt" --resume \
+    --out "$WORK/resumed$t" >/dev/null 2>&1 \
+    || fail "final resume @$t threads exited non-zero"
+  got=$(md5_tree "$WORK/resumed$t")
+  [ "$got" = "$base" ] || fail "resumed md5 @$t threads: $got != $base"
+done
+
+# --- injected crash (exception, not signal): distinct exit code 64 ----------
+"$BBLAB" generate $ARGS --checkpoint "$WORK/ckpt_crash" --fs-faults crash@9 \
+  >/dev/null 2>"$WORK/crash_err"
+code=$?
+[ "$code" -eq 64 ] || fail "crash@9: exit code $code, want 64"
+grep -q "injected crash" "$WORK/crash_err" \
+  || fail "crash@9: stderr does not mention the injected crash"
+"$BBLAB" generate $ARGS --checkpoint "$WORK/ckpt_crash" --resume \
+  --out "$WORK/after_crash" >/dev/null 2>&1 \
+  || fail "resume after crash@9 exited non-zero"
+got=$(md5_tree "$WORK/after_crash")
+[ "$got" = "$(md5_tree "$WORK/base1")" ] || fail "post-crash md5 differs"
+
+# --- permanent I/O failure: degraded completion (4), then resume heals ------
+"$BBLAB" generate $ARGS --checkpoint "$WORK/ckpt_deg" --fs-faults enospc@7 \
+  --out "$WORK/degraded" >/dev/null 2>&1
+code=$?
+[ "$code" -eq 4 ] || fail "enospc@7: exit code $code, want 4 (degraded)"
+"$BBLAB" generate $ARGS --checkpoint "$WORK/ckpt_deg" --resume \
+  --out "$WORK/healed" >/dev/null 2>&1 \
+  || fail "healing resume exited non-zero"
+got=$(md5_tree "$WORK/healed")
+[ "$got" = "$(md5_tree "$WORK/base1")" ] || fail "healed md5 differs"
+
+if [ "$fails" -ne 0 ]; then
+  echo "crash_resume_test: FAILED"
+  exit 1
+fi
+echo "crash_resume_test: OK"

@@ -1,0 +1,147 @@
+#include "faults/fs_faults.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/error.h"
+#include "core/fs.h"
+
+namespace bblab::faults {
+namespace {
+
+std::filesystem::path test_dir(const std::string& name) {
+  const auto dir = std::filesystem::path{::testing::TempDir()} / name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+std::string slurp(const std::filesystem::path& path) {
+  std::ifstream in{path, std::ios::binary};
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+TEST(FsFaultPlan, ParsesTermsAndRoundTripsSummary) {
+  const auto plan = FsFaultPlan::parse("eio@3x2,enospc@5,torn@9,crash@12,kill@4");
+  ASSERT_EQ(plan.faults.size(), 5u);
+  EXPECT_EQ(plan.faults[0].kind, FsFault::Kind::kEio);
+  EXPECT_EQ(plan.faults[0].at, 3u);
+  EXPECT_EQ(plan.faults[0].times, 2);
+  EXPECT_EQ(plan.faults[1].kind, FsFault::Kind::kEnospc);
+  EXPECT_EQ(plan.faults[1].times, 1);
+  EXPECT_EQ(plan.faults[4].kind, FsFault::Kind::kKill);
+  EXPECT_EQ(plan.summary(), "eio@3x2 enospc@5 torn@9 crash@12 kill@4");
+  EXPECT_TRUE(FsFaultPlan::parse("").empty());
+}
+
+TEST(FsFaultPlan, RejectsMalformedSpecs) {
+  EXPECT_THROW((void)FsFaultPlan::parse("bogus@3"), InvalidArgument);
+  EXPECT_THROW((void)FsFaultPlan::parse("eio"), InvalidArgument);
+  EXPECT_THROW((void)FsFaultPlan::parse("eio@"), InvalidArgument);
+  EXPECT_THROW((void)FsFaultPlan::parse("eio@x3"), InvalidArgument);
+  EXPECT_THROW((void)FsFaultPlan::parse("eio@3x0"), InvalidArgument);
+  EXPECT_THROW((void)FsFaultPlan::parse("eio@3xfoo"), InvalidArgument);
+  EXPECT_THROW((void)FsFaultPlan::parse("@3"), InvalidArgument);
+}
+
+TEST(FaultFileSystem, EioIsTransientAndWritesNothing) {
+  const auto dir = test_dir("fsf_eio");
+  FaultFileSystem fs{FsFaultPlan::parse("eio@0")};
+  EXPECT_THROW(fs.write_file(dir / "a", "payload"), TransientIoError);
+  EXPECT_FALSE(std::filesystem::exists(dir / "a"));
+  // The fault fired once; the retried operation (a fresh op index) lands.
+  fs.write_file(dir / "a", "payload");
+  EXPECT_EQ(slurp(dir / "a"), "payload");
+}
+
+TEST(FaultFileSystem, EnospcIsPermanentAndLeavesAPrefix) {
+  const auto dir = test_dir("fsf_enospc");
+  FaultFileSystem fs{FsFaultPlan::parse("enospc@0")};
+  try {
+    fs.write_file(dir / "a", "0123456789");
+    FAIL() << "expected IoError";
+  } catch (const TransientIoError&) {
+    FAIL() << "ENOSPC must not be classified transient";
+  } catch (const IoError&) {
+  }
+  EXPECT_EQ(slurp(dir / "a"), "01234");  // half landed, as a torn disk would
+}
+
+TEST(FaultFileSystem, TornWriteSucceedsSilentlyWithHalfTheBytes) {
+  const auto dir = test_dir("fsf_torn");
+  FaultFileSystem fs{FsFaultPlan::parse("torn@0")};
+  fs.write_file(dir / "a", "0123456789");  // no throw: the lie is the point
+  EXPECT_EQ(slurp(dir / "a"), "01234");
+}
+
+TEST(FaultFileSystem, CrashBeforeRenameLeavesTmpOnly) {
+  const auto dir = test_dir("fsf_crash");
+  FaultFileSystem fs{FsFaultPlan::parse("crash@1")};
+  fs.write_file(dir / "a.tmp", "payload");  // op 0: clean
+  EXPECT_THROW(fs.rename(dir / "a.tmp", dir / "a"), InjectedCrash);  // op 1
+  EXPECT_TRUE(std::filesystem::exists(dir / "a.tmp"));
+  EXPECT_FALSE(std::filesystem::exists(dir / "a"));
+}
+
+TEST(FaultFileSystem, InjectedCrashIsNotAnIoError) {
+  // Retry/quarantine layers classify by type; a crash must fit neither.
+  const auto dir = test_dir("fsf_crash_type");
+  FaultFileSystem fs{FsFaultPlan::parse("crash@0")};
+  try {
+    fs.write_file(dir / "a", "payload");
+    FAIL() << "expected InjectedCrash";
+  } catch (const IoError&) {
+    FAIL() << "InjectedCrash must not be catchable as IoError";
+  } catch (const InjectedCrash&) {
+  }
+}
+
+TEST(FaultFileSystem, FiresExactlyTimesThenRunsClean) {
+  const auto dir = test_dir("fsf_times");
+  FaultFileSystem fs{FsFaultPlan::parse("eio@0x2")};
+  EXPECT_THROW(fs.write_file(dir / "a", "x"), TransientIoError);
+  EXPECT_THROW(fs.write_file(dir / "a", "x"), TransientIoError);
+  fs.write_file(dir / "a", "x");
+  fs.write_file(dir / "b", "y");
+  EXPECT_EQ(slurp(dir / "a"), "x");
+  EXPECT_EQ(fs.ops(), 4u);
+}
+
+TEST(FaultFileSystem, ReadsDoNotConsumeOpIndices) {
+  const auto dir = test_dir("fsf_reads");
+  FaultFileSystem fs{FsFaultPlan::parse("eio@1")};
+  fs.write_file(dir / "a", "payload");  // op 0
+  EXPECT_EQ(fs.read_file(dir / "a"), "payload");
+  EXPECT_TRUE(fs.exists(dir / "a"));
+  EXPECT_EQ(fs.ops(), 1u);  // reads were free; the armed fault still waits
+  EXPECT_THROW(fs.write_file(dir / "b", "x"), TransientIoError);  // op 1
+}
+
+TEST(FaultFileSystem, EmptyPlanIsTransparent) {
+  const auto dir = test_dir("fsf_clean");
+  FaultFileSystem fs{FsFaultPlan{}};
+  fs.create_directories(dir / "sub");
+  fs.write_file(dir / "sub" / "a", "payload");
+  fs.rename(dir / "sub" / "a", dir / "sub" / "b");
+  EXPECT_EQ(fs.read_file(dir / "sub" / "b"), "payload");
+  EXPECT_TRUE(fs.remove(dir / "sub" / "b"));
+  EXPECT_FALSE(fs.remove(dir / "sub" / "b"));
+}
+
+TEST(FileSystem, InstanceInjectionIsProcessWide) {
+  FaultFileSystem fs{FsFaultPlan{}};
+  EXPECT_EQ(&core::FileSystem::instance(), &core::FileSystem::system());
+  core::FileSystem::set_instance(&fs);
+  EXPECT_EQ(&core::FileSystem::instance(), &fs);
+  core::FileSystem::set_instance(nullptr);
+  EXPECT_EQ(&core::FileSystem::instance(), &core::FileSystem::system());
+}
+
+}  // namespace
+}  // namespace bblab::faults

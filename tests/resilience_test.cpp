@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/error.h"
+#include "core/retry.h"
+#include "core/rng.h"
+#include "core/watchdog.h"
+
+namespace bblab::core {
+namespace {
+
+TEST(Backoff, GrowsExponentiallyAndCaps) {
+  RetryPolicy policy;
+  policy.base_delay_ms = 10.0;
+  policy.multiplier = 3.0;
+  policy.max_delay_ms = 100.0;
+  policy.jitter = 0.0;  // isolate the schedule from the noise
+  Rng rng{1};
+  EXPECT_DOUBLE_EQ(backoff_delay_ms(policy, 1, rng), 10.0);
+  EXPECT_DOUBLE_EQ(backoff_delay_ms(policy, 2, rng), 30.0);
+  EXPECT_DOUBLE_EQ(backoff_delay_ms(policy, 3, rng), 90.0);
+  EXPECT_DOUBLE_EQ(backoff_delay_ms(policy, 4, rng), 100.0);  // capped
+  EXPECT_DOUBLE_EQ(backoff_delay_ms(policy, 9, rng), 100.0);
+}
+
+TEST(Backoff, JitterIsBoundedAndSeedDeterministic) {
+  RetryPolicy policy;  // jitter 0.5 -> factor in [0.5, 1.5]
+  Rng a{42};
+  Rng b{42};
+  Rng c{43};
+  bool diverged = false;
+  for (int attempt = 1; attempt <= 32; ++attempt) {
+    const double da = backoff_delay_ms(policy, attempt, a);
+    const double db = backoff_delay_ms(policy, attempt, b);
+    const double dc = backoff_delay_ms(policy, attempt, c);
+    EXPECT_DOUBLE_EQ(da, db) << "same seed must replay the same schedule";
+    diverged = diverged || da != dc;
+    double base = policy.base_delay_ms;
+    for (int i = 1; i < attempt; ++i) base *= policy.multiplier;
+    if (base > policy.max_delay_ms) base = policy.max_delay_ms;
+    EXPECT_GE(da, base * (1.0 - policy.jitter));
+    EXPECT_LE(da, base * (1.0 + policy.jitter));
+  }
+  EXPECT_TRUE(diverged) << "different seeds should decorrelate";
+}
+
+TEST(WithRetry, SucceedsAfterTransientFailures) {
+  RetryPolicy policy;
+  Rng rng{7};
+  int calls = 0;
+  std::vector<double> slept;
+  const int result = with_retry(
+      policy, rng, "flaky",
+      [&] {
+        if (++calls < 3) throw TransientIoError{"flaky disk"};
+        return 99;
+      },
+      [&](double ms) { slept.push_back(ms); });
+  EXPECT_EQ(result, 99);
+  EXPECT_EQ(calls, 3);
+  ASSERT_EQ(slept.size(), 2u);
+  EXPECT_GT(slept[0], 0.0);
+}
+
+TEST(WithRetry, GivesUpAfterMaxAttempts) {
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  Rng rng{7};
+  int calls = 0;
+  std::vector<double> slept;
+  EXPECT_THROW(with_retry(
+                   policy, rng, "doomed",
+                   [&]() -> int {
+                     ++calls;
+                     throw TransientIoError{"still broken"};
+                   },
+                   [&](double ms) { slept.push_back(ms); }),
+               TransientIoError);
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(slept.size(), 2u) << "no sleep after the final attempt";
+}
+
+TEST(WithRetry, PermanentErrorsPropagateImmediately) {
+  RetryPolicy policy;
+  Rng rng{7};
+  int calls = 0;
+  EXPECT_THROW(with_retry(
+                   policy, rng, "enospc",
+                   [&]() -> int {
+                     ++calls;
+                     throw IoError{"disk full"};
+                   },
+                   [](double) { FAIL() << "permanent errors must not back off"; }),
+               IoError);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(WithRetry, MaxAttemptsOneDisablesRetry) {
+  RetryPolicy policy;
+  policy.max_attempts = 1;
+  Rng rng{7};
+  int calls = 0;
+  EXPECT_THROW(with_retry(
+                   policy, rng, "oneshot",
+                   [&]() -> int {
+                     ++calls;
+                     throw TransientIoError{"nope"};
+                   },
+                   [](double) {}),
+               TransientIoError);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(DeadlineTest, DefaultIsInfinite) {
+  const Deadline d;
+  EXPECT_FALSE(d.finite());
+  EXPECT_FALSE(d.expired());
+  EXPECT_DOUBLE_EQ(d.elapsed_s(), 0.0);
+}
+
+TEST(DeadlineTest, ZeroExpiresAtFirstPoll) {
+  const Deadline d{0.0};
+  EXPECT_TRUE(d.finite());
+  EXPECT_TRUE(d.expired());
+}
+
+TEST(DeadlineTest, GenerousBudgetDoesNotExpire) {
+  const Deadline d{3600.0};
+  EXPECT_FALSE(d.expired());
+  EXPECT_GE(d.elapsed_s(), 0.0);
+  EXPECT_LT(d.elapsed_s(), 3600.0);
+}
+
+TEST(WatchdogTest, ReportsHungDeadlineWithoutOwnerPolling) {
+  Watchdog dog{0.005};
+  const Deadline hung{0.0};
+  const auto guard = dog.watch("stuck shard", hung);
+  // The shard never polls; the scan thread must notice on its own.
+  const auto start = std::chrono::steady_clock::now();
+  while (dog.expired_count() == 0 &&
+         std::chrono::steady_clock::now() - start < std::chrono::seconds{5}) {
+    std::this_thread::sleep_for(std::chrono::milliseconds{2});
+  }
+  EXPECT_EQ(dog.expired_count(), 1u);
+}
+
+TEST(WatchdogTest, FinishedWorkIsNeverReported) {
+  Watchdog dog{0.005};
+  const Deadline roomy{3600.0};
+  { const auto guard = dog.watch("fast shard", roomy); }  // released well inside budget
+  std::this_thread::sleep_for(std::chrono::milliseconds{30});
+  EXPECT_EQ(dog.expired_count(), 0u);
+}
+
+TEST(WatchdogTest, InfiniteDeadlinesNeverFire) {
+  Watchdog dog{0.005};
+  const Deadline forever;
+  const auto guard = dog.watch("patient shard", forever);
+  std::this_thread::sleep_for(std::chrono::milliseconds{30});
+  EXPECT_EQ(dog.expired_count(), 0u);
+}
+
+TEST(WatchdogTest, CountsEachHungDeadlineOnce) {
+  Watchdog dog{0.005};
+  const Deadline a{0.0};
+  const Deadline b{0.0};
+  const auto ga = dog.watch("shard a", a);
+  const auto gb = dog.watch("shard b", b);
+  const auto start = std::chrono::steady_clock::now();
+  while (dog.expired_count() < 2 &&
+         std::chrono::steady_clock::now() - start < std::chrono::seconds{5}) {
+    std::this_thread::sleep_for(std::chrono::milliseconds{2});
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds{30});  // extra scans must not double-count
+  EXPECT_EQ(dog.expired_count(), 2u);
+}
+
+}  // namespace
+}  // namespace bblab::core

@@ -173,6 +173,46 @@ TEST(Snapshot, TruncationIsDetected) {
   }
 }
 
+// Exhaustive version of the above: a reader facing a file cut at ANY
+// byte boundary — a torn write, a full disk, a killed copy — must fail
+// with the typed SnapshotError and nothing else. An uncaught vector
+// length explosion or bad_alloc here would crash the resume path.
+TEST(Snapshot, TruncationAtEveryLengthIsATypedError) {
+  const std::string clean = serialized(make_tiny());
+  ASSERT_GT(clean.size(), 100u);
+  for (std::size_t keep = 0; keep < clean.size(); ++keep) {
+    std::istringstream in{clean.substr(0, keep)};
+    try {
+      (void)read_snapshot(in);
+      FAIL() << "prefix of " << keep << " bytes accepted as a snapshot";
+    } catch (const SnapshotError&) {
+      // the one permitted outcome
+    } catch (const std::exception& e) {
+      FAIL() << "prefix of " << keep << " bytes escaped the typed-error "
+             << "contract: " << e.what();
+    }
+  }
+}
+
+TEST(Snapshot, GarbageFilesFailTyped) {
+  const auto dir = std::filesystem::path{::testing::TempDir()} / "bbs_garbage";
+  std::filesystem::create_directories(dir);
+
+  EXPECT_THROW((void)read_snapshot_file(dir / "absent.bbs"), IoError);
+
+  { std::ofstream out{dir / "empty.bbs", std::ios::binary}; }
+  EXPECT_THROW((void)read_snapshot_file(dir / "empty.bbs"), SnapshotError);
+
+  {
+    std::ofstream out{dir / "noise.bbs", std::ios::binary};
+    out << "this is not a snapshot, not even close, but it is long enough "
+           "to get past any fixed-size header read";
+  }
+  EXPECT_THROW((void)read_snapshot_file(dir / "noise.bbs"), SnapshotError);
+
+  std::filesystem::remove_all(dir);
+}
+
 TEST(Snapshot, ErrorsCarryTypedReasons) {
   const std::string clean = serialized(make_tiny());
 
@@ -243,7 +283,12 @@ TEST(Snapshot, FileRoundTripAndAtomicity) {
   const auto path = dir / "nested" / "snap.bbs";
   const auto ds = make_tiny();
   write_snapshot_file(path, ds);
-  EXPECT_FALSE(std::filesystem::exists(path.string() + ".tmp"));
+  // Temp names are process-unique (.p<pid>.N.tmp), so scan for residue
+  // instead of probing one fixed name.
+  for (const auto& entry : std::filesystem::directory_iterator{path.parent_path()}) {
+    EXPECT_NE(entry.path().extension(), ".tmp")
+        << "publication left temp residue: " << entry.path();
+  }
   const auto back = read_snapshot_file(path);
   EXPECT_EQ(content_hash(back), content_hash(ds));
   std::filesystem::remove_all(dir);

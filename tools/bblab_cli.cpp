@@ -19,10 +19,21 @@
 //   --placebo       disable all planted causal effects
 //   --cache         reuse/populate the content-addressed simulation cache
 //   --cache-dir DIR cache root (default $BBLAB_CACHE_DIR or ~/.cache/bblab)
+//   --checkpoint DIR persist completed shards under DIR (crash-safe runs)
+//   --resume        reuse shards already checkpointed under --checkpoint
+//   --deadline X    per-shard watchdog deadline in seconds
+//   --retries N     I/O retry attempts for transient failures (default 4)
+//   --fs-faults SPEC filesystem fault plan, e.g. "eio@3x2,crash@7"
+//                   (also read from $BBLAB_FS_FAULTS)
+//
+// Exit codes: 0 success, 1 error, 2 usage, 4 completed degraded (one or
+// more shards quarantined; dataset is partial), 64 injected crash.
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -31,13 +42,16 @@
 #include "analysis/report.h"
 #include "analysis/scorecard.h"
 #include "analysis/tables.h"
+#include "core/fs.h"
 #include "core/logging.h"
 #include "dataset/csv.h"
 #include "dataset/generator.h"
 #include "faults/fault_plan.h"
+#include "faults/fs_faults.h"
 #include "market/catalog.h"
 #include "store/bbs.h"
 #include "store/cache.h"
+#include "store/checkpoint.h"
 #include "store/fingerprint.h"
 
 namespace {
@@ -56,8 +70,22 @@ struct CliOptions {
   std::string cache_dir;  ///< empty = ArtifactCache::default_root()
   bool placebo{false};
   bool markdown{false};
+  std::string checkpoint;  ///< checkpoint directory; empty = monolithic run
+  bool resume{false};
+  double deadline_s{0.0};  ///< per-shard deadline; <= 0 disables
+  int retries{0};          ///< 0 = RetryPolicy default
+  std::string fs_faults;   ///< FsFaultPlan::parse spec; empty = clean
   std::vector<std::string> positional;
 };
+
+/// Exit code for a run that completed but lost shards to quarantine:
+/// the output exists and is honest about what is missing, and scripts
+/// can tell "partial" from both success (0) and failure (1).
+constexpr int kExitDegraded = 4;
+/// Exit code for an injected crash (fault plan `crash@N`): distinct from
+/// everything a real bblab failure produces, so crash/resume tests can
+/// assert the crash actually fired.
+constexpr int kExitInjectedCrash = 64;
 
 int usage() {
   std::cerr
@@ -73,7 +101,12 @@ int usage() {
          "  cache <ls|rm KEY...|rm all>  manage the simulation artifact cache\n"
          "common: --seed N --scale X --days X --threads N --placebo\n"
          "        --faults SPEC (e.g. \"churn=0.2,corrupt=0.05\") --qc-report\n"
-         "        --cache --cache-dir DIR\n";
+         "        --cache --cache-dir DIR\n"
+         "        --checkpoint DIR [--resume] --deadline SECONDS --retries N\n"
+         "        --fs-faults SPEC (e.g. \"eio@3x2,crash@7\"; also "
+         "$BBLAB_FS_FAULTS)\n"
+         "exit codes: 0 ok, 1 error, 2 usage, 4 degraded (shards quarantined),\n"
+         "            64 injected crash\n";
   return 2;
 }
 
@@ -114,6 +147,25 @@ bool parse(int argc, char** argv, CliOptions& options) {
       if (v == nullptr) return false;
       options.cache_dir = v;
       options.cache = true;
+    } else if (arg == "--checkpoint") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options.checkpoint = v;
+    } else if (arg == "--resume") {
+      options.resume = true;
+    } else if (arg == "--deadline") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options.deadline_s = std::atof(v);
+    } else if (arg == "--retries") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options.retries = std::atoi(v);
+      if (options.retries < 1) return false;
+    } else if (arg == "--fs-faults") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options.fs_faults = v;
     } else if (arg == "--qc-report") {
       options.qc_report = true;
     } else if (arg == "--placebo") {
@@ -153,8 +205,42 @@ store::ArtifactCache open_cache(const CliOptions& options) {
                                   : std::filesystem::path{options.cache_dir}};
 }
 
-dataset::StudyDataset make_dataset(const CliOptions& options) {
+struct DatasetResult {
+  dataset::StudyDataset ds;
+  /// One or more shards were quarantined: the dataset is partial and the
+  /// command should exit kExitDegraded instead of 0.
+  bool degraded{false};
+};
+
+/// Fold a command's own exit status together with the dataset's
+/// degradation state: degradation only ever *worsens* a success.
+int exit_code(const DatasetResult& result, int rc) {
+  return rc == 0 && result.degraded ? kExitDegraded : rc;
+}
+
+dataset::StudyDataset generate_dataset(const CliOptions& options,
+                                       const dataset::StudyConfig& config,
+                                       bool& degraded) {
+  if (!options.checkpoint.empty()) {
+    store::CheckpointOptions copts;
+    copts.dir = options.checkpoint;
+    copts.resume = options.resume;
+    copts.shard_deadline_s = options.deadline_s;
+    if (options.retries >= 1) copts.retry.max_attempts = options.retries;
+    auto run = store::run_checkpointed(market::World::builtin(), config, copts);
+    degraded = run.degraded();
+    if (degraded) {
+      std::cerr << "warning: run degraded: " << run.shards_failed << "/"
+                << run.shards_total << " shards quarantined (see QC report)\n";
+    }
+    return std::move(run.dataset);
+  }
+  return dataset::StudyGenerator{market::World::builtin(), config}.generate();
+}
+
+DatasetResult make_dataset(const CliOptions& options) {
   const auto config = study_config(options);
+  DatasetResult result;
   if (options.cache) {
     const auto cache = open_cache(options);
     const auto key = store::dataset_fingerprint(config, market::World::builtin());
@@ -164,20 +250,33 @@ dataset::StudyDataset make_dataset(const CliOptions& options) {
       // so a cache hit is indistinguishable from a fresh run.
       hit->config.threads = config.threads;
       if (options.qc_report) analysis::print_quarantine(std::cerr, hit->qc);
-      return *std::move(hit);
+      result.ds = *std::move(hit);
+      return result;
     }
     std::cerr << "cache miss " << key.hex() << "; generating dataset (seed "
               << config.seed << ", scale " << config.population_scale << ")...\n";
-    auto ds = dataset::StudyGenerator{market::World::builtin(), config}.generate();
-    cache.store(key, ds);
-    if (options.qc_report) analysis::print_quarantine(std::cerr, ds.qc);
-    return ds;
+    result.ds = generate_dataset(options, config, result.degraded);
+    if (result.degraded) {
+      // A cache entry names the *complete* dataset for this fingerprint;
+      // a partial one would poison every later run that hits it.
+      std::cerr << "note: degraded dataset not stored in cache\n";
+    } else {
+      try {
+        cache.store(key, result.ds);
+      } catch (const std::exception& e) {
+        // The run already has its dataset; failing to memoize it is a
+        // warning, not an error.
+        std::cerr << "warning: cache store failed: " << e.what() << "\n";
+      }
+    }
+    if (options.qc_report) analysis::print_quarantine(std::cerr, result.ds.qc);
+    return result;
   }
   std::cerr << "generating dataset (seed " << config.seed << ", scale "
             << config.population_scale << ")...\n";
-  auto ds = dataset::StudyGenerator{market::World::builtin(), config}.generate();
-  if (options.qc_report) analysis::print_quarantine(std::cerr, ds.qc);
-  return ds;
+  result.ds = generate_dataset(options, config, result.degraded);
+  if (options.qc_report) analysis::print_quarantine(std::cerr, result.ds.qc);
+  return result;
 }
 
 int cmd_markets(const CliOptions& options) {
@@ -205,7 +304,8 @@ int cmd_markets(const CliOptions& options) {
 }
 
 int cmd_generate(const CliOptions& options) {
-  const auto ds = make_dataset(options);
+  const auto result = make_dataset(options);
+  const auto& ds = result.ds;
   const std::filesystem::path dir{options.out};
   std::filesystem::create_directories(dir);
   // Serialization-level faults mangle the CSV text itself; each file gets
@@ -243,7 +343,7 @@ int cmd_generate(const CliOptions& options) {
   }
   std::cout << "wrote " << ds.dasu.size() << " + " << ds.fcc.size() << " user records, "
             << ds.upgrades.size() << " upgrade pairs to " << dir << "/\n";
-  return 0;
+  return exit_code(result, 0);
 }
 
 int cmd_ingest(const CliOptions& options) {
@@ -272,7 +372,8 @@ int cmd_experiment(const CliOptions& options) {
       which != "tab6" && which != "tab7" && which != "tab8") {
     return usage();
   }
-  const auto ds = make_dataset(options);
+  const auto result = make_dataset(options);
+  const auto& ds = result.ds;
   auto& out = std::cout;
 
   if (which == "tab1") {
@@ -310,7 +411,7 @@ int cmd_experiment(const CliOptions& options) {
   } else {
     return usage();
   }
-  return 0;
+  return exit_code(result, 0);
 }
 
 int cmd_figure(const CliOptions& options) {
@@ -319,7 +420,8 @@ int cmd_figure(const CliOptions& options) {
   if (which != "fig1" && which != "fig2" && which != "fig6" && which != "fig10") {
     return usage();
   }
-  const auto ds = make_dataset(options);
+  const auto result = make_dataset(options);
+  const auto& ds = result.ds;
   auto& out = std::cout;
 
   if (which == "fig1") {
@@ -346,19 +448,20 @@ int cmd_figure(const CliOptions& options) {
   } else {
     return usage();
   }
-  return 0;
+  return exit_code(result, 0);
 }
 
 int cmd_pack(const CliOptions& options) {
   if (options.positional.empty()) return usage();
   const std::filesystem::path out{options.positional.front()};
-  const auto ds = make_dataset(options);
+  const auto result = make_dataset(options);
+  const auto& ds = result.ds;
   store::write_snapshot_file(out, ds);
   std::cout << "packed " << ds.dasu.size() << " + " << ds.fcc.size()
             << " user records, " << ds.upgrades.size() << " upgrade pairs, "
             << ds.markets.size() << " markets into " << out << " ("
             << std::filesystem::file_size(out) << " bytes)\n";
-  return 0;
+  return exit_code(result, 0);
 }
 
 int cmd_cat(const CliOptions& options) {
@@ -437,6 +540,29 @@ int main(int argc, char** argv) {
   set_log_level(LogLevel::kWarn);
   CliOptions options;
   if (!parse(argc, argv, options)) return usage();
+  if (options.resume && options.checkpoint.empty()) {
+    std::cerr << "--resume requires --checkpoint DIR\n";
+    return usage();
+  }
+
+  // Filesystem fault injection: installed process-wide before any I/O so
+  // the whole storage stack (snapshots, cache, checkpoints) runs through
+  // it. Static storage: the instance must outlive every user.
+  std::string fs_spec = options.fs_faults;
+  if (fs_spec.empty()) {
+    if (const char* env = std::getenv("BBLAB_FS_FAULTS")) fs_spec = env;
+  }
+  static std::optional<faults::FaultFileSystem> fault_fs;
+  if (!fs_spec.empty()) {
+    try {
+      fault_fs.emplace(faults::FsFaultPlan::parse(fs_spec));
+    } catch (const std::exception& e) {
+      std::cerr << "bad --fs-faults spec: " << e.what() << "\n";
+      return usage();
+    }
+    core::FileSystem::set_instance(&*fault_fs);
+    std::cerr << "fs fault injection active: " << fs_spec << "\n";
+  }
 
   const std::string command = argv[1];
   try {
@@ -449,15 +575,20 @@ int main(int argc, char** argv) {
     if (command == "cat") return cmd_cat(options);
     if (command == "cache") return cmd_cache(options);
     if (command == "scorecard") {
-      const auto ds = make_dataset(options);
-      const auto card = analysis::run_scorecard(ds);
+      const auto result = make_dataset(options);
+      const auto card = analysis::run_scorecard(result.ds);
       if (options.markdown) {
         std::cout << card.to_markdown();
       } else {
         card.print(std::cout);
       }
-      return card.pass_rate() >= 0.7 ? 0 : 1;
+      return exit_code(result, card.pass_rate() >= 0.7 ? 0 : 1);
     }
+  } catch (const faults::InjectedCrash& e) {
+    // Simulated process death: report and leave immediately, skipping
+    // every destructor — exactly the state a real crash leaves behind.
+    std::cerr << "injected crash: " << e.what() << "\n";
+    std::_Exit(kExitInjectedCrash);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
