@@ -10,6 +10,7 @@
 #include "analysis/figures.h"
 #include "analysis/report.h"
 #include "analysis/tables.h"
+#include "obs/metrics.h"
 
 namespace bblab::analysis {
 
@@ -102,6 +103,32 @@ Scorecard run_scorecard(const dataset::StudyDataset& ds) {
         std::to_string(unlabeled) + "/" + std::to_string(ds.qc.rows.size()) +
             " unlabeled",
         unlabeled == 0);
+  }
+  {
+    // ---- Observability: the metrics layer's own self-consistency. -----
+    // These are invariants of the instrumentation, phrased so they hold
+    // vacuously on cache-hit runs (generation counters all zero).
+    const obs::Snapshot snap = obs::Registry::instance().snapshot();
+    const auto counter = [&](const char* name) -> std::uint64_t {
+      const auto it = snap.counters.find(name);
+      return it == snap.counters.end() ? 0 : it->second;
+    };
+    add("obs.instrumentation", "metrics registry populated by this process",
+        std::to_string(snap.counters.size()) + " counters registered",
+        !snap.counters.empty());
+    const std::uint64_t simulated = counter("gen.households_simulated");
+    const std::uint64_t emitted = counter("gen.records_emitted");
+    add("obs.household-accounting",
+        "records emitted never exceed households simulated",
+        std::to_string(emitted) + " records / " + std::to_string(simulated) +
+            " simulated",
+        emitted <= simulated);
+    const std::uint64_t executed = counter("pool.tasks_executed");
+    const std::uint64_t stolen = counter("pool.tasks_stolen");
+    add("obs.pool-balance", "stolen tasks are a subset of executed tasks",
+        std::to_string(stolen) + " stolen / " + std::to_string(executed) +
+            " executed",
+        stolen <= executed);
   }
 
   // ---- Fig. 1: population characteristics. --------------------------

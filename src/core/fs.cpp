@@ -10,6 +10,7 @@
 #include <system_error>
 
 #include "core/error.h"
+#include "obs/metrics.h"
 
 namespace bblab::core {
 
@@ -79,6 +80,12 @@ class RealFileSystem final : public FileSystem {
       throw_errno("fsync " + path.string(), err);
     }
     if (::close(fd) != 0) throw_errno("close " + path.string(), errno);
+    static obs::Counter& files =
+        obs::Registry::instance().counter("fs.files_written");
+    static obs::Counter& bytes =
+        obs::Registry::instance().counter("fs.bytes_written");
+    files.add();
+    bytes.add(written);
   }
 
   std::string read_file(const std::filesystem::path& path) override {
@@ -98,6 +105,10 @@ class RealFileSystem final : public FileSystem {
       out.append(buf, static_cast<std::size_t>(n));
     }
     ::close(fd);
+    static obs::Counter& files = obs::Registry::instance().counter("fs.files_read");
+    static obs::Counter& bytes = obs::Registry::instance().counter("fs.bytes_read");
+    files.add();
+    bytes.add(out.size());
     return out;
   }
 

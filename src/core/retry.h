@@ -21,6 +21,7 @@
 #include "core/error.h"
 #include "core/logging.h"
 #include "core/rng.h"
+#include "obs/metrics.h"
 
 namespace bblab::core {
 
@@ -56,16 +57,28 @@ struct RetryPolicy {
 template <typename F, typename Sleep>
 auto with_retry(const RetryPolicy& policy, Rng& rng, const std::string& what, F&& fn,
                 Sleep&& sleep) -> decltype(fn()) {
+  // Handles taken up front so the instruments exist (value 0) in the run
+  // report even for runs that never hit a transient failure.
+  static obs::Counter& attempts_c = obs::Registry::instance().counter("retry.attempts");
+  static obs::Counter& giveups_c = obs::Registry::instance().counter("retry.giveups");
+  static obs::Counter& backoff_c =
+      obs::Registry::instance().counter("retry.backoff_ms_total");
+  static obs::Histogram& backoff_h =
+      obs::Registry::instance().histogram("retry.backoff_ms");
   for (int attempt = 1;; ++attempt) {
     try {
       return fn();
     } catch (const TransientIoError& e) {
+      attempts_c.add();
       if (attempt >= policy.max_attempts) {
+        giveups_c.add();
         log_warn(what, ": transient I/O failure persisted through ", attempt,
                  " attempts, giving up (", e.what(), ")");
         throw;
       }
       const double delay_ms = backoff_delay_ms(policy, attempt, rng);
+      backoff_c.add(static_cast<std::uint64_t>(delay_ms));
+      backoff_h.observe(delay_ms);
       log_warn(what, ": transient I/O failure (attempt ", attempt, "/",
                policy.max_attempts, "), retrying in ", delay_ms, " ms: ", e.what());
       sleep(delay_ms);

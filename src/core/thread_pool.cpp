@@ -6,6 +6,7 @@
 
 #include "core/error.h"
 #include "core/logging.h"
+#include "obs/metrics.h"
 
 namespace bblab::core {
 
@@ -76,13 +77,19 @@ bool ThreadPool::try_pop(std::size_t home, bool own, std::function<void()>& task
     Queue& q = *queues_[(home + k) % n];
     const std::lock_guard<std::mutex> lock{q.mutex};
     if (q.tasks.empty()) continue;
+    static obs::Counter& executed =
+        obs::Registry::instance().counter("pool.tasks_executed");
+    static obs::Counter& stolen =
+        obs::Registry::instance().counter("pool.tasks_stolen");
     if (k == 0 && own) {
       task = std::move(q.tasks.back());  // own deque: LIFO, cache-warm
       q.tasks.pop_back();
     } else {
       task = std::move(q.tasks.front());  // steal: FIFO, oldest first
       q.tasks.pop_front();
+      stolen.add();
     }
+    executed.add();
     queued_.fetch_sub(1, std::memory_order_release);
     return true;
   }
@@ -100,6 +107,9 @@ bool ThreadPool::run_one() {
 void ThreadPool::worker_loop(std::size_t index) {
   t_pool = this;
   t_index = index;
+  // Claim a metrics slot now, in spawn order, so per-worker counter
+  // breakdowns line up with worker indices for the first pool.
+  obs::bind_thread_slot();
   for (;;) {
     std::function<void()> task;
     if (try_pop(index, /*own=*/true, task)) {

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "core/logging.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 
 namespace bblab::core {
 
@@ -46,9 +48,16 @@ void Watchdog::scan_loop() {
       if (entry.reported || !entry.deadline->expired()) continue;
       entry.reported = true;
       expired_.fetch_add(1, std::memory_order_relaxed);
+      static obs::Counter& stalls =
+          obs::Registry::instance().counter("watchdog.stalls_reported");
+      stalls.add();
+      // Name what the stalled threads are *doing*, not just the label:
+      // with tracing on, the innermost open span per thread is live here.
+      const std::string spans = obs::open_span_report();
       log_warn("watchdog: ", entry.label, " exceeded its ",
                entry.deadline->seconds(), " s deadline (running ",
-               entry.deadline->elapsed_s(), " s); degrading when it next polls");
+               entry.deadline->elapsed_s(), " s); degrading when it next polls",
+               spans.empty() ? "" : "; open spans: ", spans);
     }
   }
 }

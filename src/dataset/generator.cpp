@@ -16,6 +16,8 @@
 #include "core/watchdog.h"
 #include "measurement/pipeline.h"
 #include "netsim/fluid.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 
 namespace bblab::dataset {
 
@@ -199,6 +201,7 @@ UserOutcome guarded_user(std::uint64_t user_id, netsim::FluidWorkspace& ws,
 }  // namespace
 
 std::map<std::string, MarketSnapshot> StudyGenerator::build_markets(Rng& rng) const {
+  OBS_SPAN("build_markets");
   std::map<std::string, MarketSnapshot> markets;
   for (const auto& country : world_.countries()) {
     Rng market_rng = rng.fork(std::hash<std::string>{}(country.code));
@@ -250,6 +253,7 @@ std::vector<ShardSpec> StudyGenerator::plan_shards(
   // This walk must mirror generate()'s exactly — same country order, same
   // empty-catalog skips (before any ids are consumed), same per-year user
   // counts — so shard user-id ranges tile [1, next_user_id) identically.
+  OBS_SPAN("plan_shards");
   const int years = config_.last_year - config_.first_year + 1;
   std::vector<ShardSpec> shards;
   std::uint64_t next_user_id = 1;
@@ -318,15 +322,31 @@ void run_shard_users(const dataset::ShardSpec& spec, core::ThreadPool& pool,
       outcomes[u] = guarded_user(spec.base_id + u, ws, simulate_user);
     }
   });
+  static obs::Counter& simulated =
+      obs::Registry::instance().counter("gen.households_simulated");
+  static obs::Counter& quarantined =
+      obs::Registry::instance().counter("gen.households_quarantined");
+  static obs::Counter& records =
+      obs::Registry::instance().counter("gen.records_emitted");
+  static obs::Counter& upgrades =
+      obs::Registry::instance().counter("gen.upgrades_emitted");
+  simulated.add(outcomes.size());
   for (auto& o : outcomes) {
     if (o.failure) {
+      quarantined.add();
       out.qc.add(o.failure->index, o.failure->reason, o.failure->raw,
                  o.failure->detail);
       continue;
     }
     out.qc.note_admitted();
-    if (o.record) out.records.push_back(std::move(*o.record));
-    if (keep_upgrades && o.upgrade) out.upgrades.push_back(std::move(*o.upgrade));
+    if (o.record) {
+      records.add();
+      out.records.push_back(std::move(*o.record));
+    }
+    if (keep_upgrades && o.upgrade) {
+      upgrades.add();
+      out.upgrades.push_back(std::move(*o.upgrade));
+    }
   }
 }
 
@@ -335,6 +355,11 @@ void run_shard_users(const dataset::ShardSpec& spec, core::ThreadPool& pool,
 ShardOutput StudyGenerator::simulate_shard(
     const ShardSpec& spec, const std::map<std::string, MarketSnapshot>& markets,
     core::ThreadPool& pool, const core::Deadline* deadline) const {
+  const std::string shard_label = spec.label();
+  OBS_SPAN("simulate_shard", shard_label);
+  static obs::Histogram& sim_ms =
+      obs::Registry::instance().histogram("shard.sim_ms");
+  const obs::ScopedTimer shard_timer{sim_ms};
   // Reconstruct the monolithic run's RNG lineage from scratch: fork() is
   // const, so the root/country streams a shard derives here are the very
   // streams generate()'s walk would have handed it.
@@ -576,6 +601,7 @@ ShardOutput StudyGenerator::simulate_shard(
 }
 
 StudyDataset StudyGenerator::generate() const {
+  OBS_SPAN("dataset.generate");
   StudyDataset ds;
   ds.config = config_;
   ds.markets = build_markets();

@@ -6,6 +6,7 @@
 #include <numeric>
 
 #include "core/error.h"
+#include "obs/metrics.h"
 
 namespace bblab::netsim {
 
@@ -189,6 +190,14 @@ BinnedUsage FluidLinkSimulator::run(std::span<const Flow> flows, SimTime window_
                          [](const Flow& a, const Flow& b) { return a.start < b.start; }),
           "FluidLinkSimulator::run: flows must be sorted by start time");
 #endif
+  // Once per run() call (not per bin/flow): this is the pipeline's
+  // hottest entry point, so instrumentation stays at call granularity.
+  static obs::Counter& runs = obs::Registry::instance().counter("fluid.runs");
+  static obs::Counter& flow_count = obs::Registry::instance().counter("fluid.flows");
+  static obs::Counter& bin_count = obs::Registry::instance().counter("fluid.bins");
+  runs.add();
+  flow_count.add(flows.size());
+  bin_count.add(bins);
   if (options_.reference_engine) {
     return run_reference(flows, window_start, bins, bin_width_s);
   }

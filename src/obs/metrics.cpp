@@ -1,0 +1,228 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+namespace bblab::obs {
+
+namespace {
+
+/// Slot allocator: a free list under a mutex. Deliberately leaked (see
+/// header) so thread_local destructors running at process exit can still
+/// return their slot safely.
+struct SlotTable {
+  std::mutex mutex;
+  std::vector<int> free_list;
+  int next_unclaimed{0};
+
+  int acquire() {
+    const std::lock_guard<std::mutex> lock{mutex};
+    if (!free_list.empty()) {
+      const int slot = free_list.back();
+      free_list.pop_back();
+      return slot;
+    }
+    if (next_unclaimed < static_cast<int>(kSlots)) return next_unclaimed++;
+    return -1;
+  }
+
+  void release(int slot) {
+    const std::lock_guard<std::mutex> lock{mutex};
+    free_list.push_back(slot);
+  }
+};
+
+SlotTable& slot_table() {
+  static SlotTable* table = new SlotTable;
+  return *table;
+}
+
+/// Per-thread lease: claims lazily, releases on thread exit. kUnbound
+/// means "not tried yet"; kForeign means "table exhausted, stop trying"
+/// (retrying every call would put a lock on the hot path).
+constexpr int kUnbound = -2;
+constexpr int kForeign = -1;
+
+struct SlotLease {
+  int slot{kUnbound};
+  ~SlotLease() {
+    if (slot >= 0) slot_table().release(slot);
+    slot = kForeign;
+  }
+};
+
+thread_local SlotLease t_lease;
+
+}  // namespace
+
+namespace detail {
+
+int current_slot() noexcept {
+  int& slot = t_lease.slot;
+  if (slot == kUnbound) slot = slot_table().acquire();
+  return slot;
+}
+
+}  // namespace detail
+
+void bind_thread_slot() noexcept { (void)detail::current_slot(); }
+
+// ---- Counter --------------------------------------------------------------
+
+std::uint64_t Counter::value() const {
+  std::uint64_t total = 0;
+  for (const Cell& cell : cells_) total += cell.v.load(std::memory_order_relaxed);
+  const std::lock_guard<std::mutex> lock{foreign_mutex_};
+  return total + foreign_;
+}
+
+std::vector<std::uint64_t> Counter::per_slot() const {
+  std::vector<std::uint64_t> out;
+  out.reserve(cells_.size() + 1);
+  for (const Cell& cell : cells_) out.push_back(cell.v.load(std::memory_order_relaxed));
+  {
+    const std::lock_guard<std::mutex> lock{foreign_mutex_};
+    out.push_back(foreign_);
+  }
+  while (!out.empty() && out.back() == 0) out.pop_back();
+  return out;
+}
+
+// ---- Histogram ------------------------------------------------------------
+
+std::vector<double> Histogram::default_latency_bounds_ms() {
+  return {0.25, 0.5, 1.0,   2.5,   5.0,   10.0,   25.0,  50.0,
+          100.0, 250.0, 500.0, 1000.0, 2500.0, 5000.0, 10000.0};
+}
+
+Histogram::Histogram(std::string name, std::vector<double> bounds)
+    : name_{std::move(name)}, bounds_{std::move(bounds)} {
+  if (bounds_.empty()) bounds_ = default_latency_bounds_ms();
+  std::sort(bounds_.begin(), bounds_.end());
+  slots_.reserve(kSlots);
+  for (std::size_t i = 0; i < kSlots; ++i) {
+    slots_.push_back(std::make_unique<Slot>(bounds_.size() + 1));
+  }
+  foreign_counts_.assign(bounds_.size() + 1, 0);
+}
+
+std::size_t Histogram::bucket_of(double value) const noexcept {
+  // First bound >= value; everything above the last bound overflows.
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  return static_cast<std::size_t>(it - bounds_.begin());
+}
+
+void Histogram::observe(double value) noexcept {
+  const std::size_t bucket = bucket_of(value);
+  const int slot = detail::current_slot();
+  if (slot >= 0) {
+    Slot& s = *slots_[static_cast<std::size_t>(slot)];
+    s.counts[bucket].fetch_add(1, std::memory_order_relaxed);
+    s.count.fetch_add(1, std::memory_order_relaxed);
+    s.sum.fetch_add(value, std::memory_order_relaxed);
+    return;
+  }
+  const std::lock_guard<std::mutex> lock{foreign_mutex_};
+  foreign_counts_[bucket] += 1;
+  foreign_count_ += 1;
+  foreign_sum_ += value;
+}
+
+Histogram::Data Histogram::data() const {
+  Data out;
+  out.bounds = bounds_;
+  out.counts.assign(bounds_.size() + 1, 0);
+  for (const auto& slot : slots_) {
+    for (std::size_t b = 0; b < out.counts.size(); ++b) {
+      out.counts[b] += slot->counts[b].load(std::memory_order_relaxed);
+    }
+    out.count += slot->count.load(std::memory_order_relaxed);
+    out.sum += slot->sum.load(std::memory_order_relaxed);
+  }
+  const std::lock_guard<std::mutex> lock{foreign_mutex_};
+  for (std::size_t b = 0; b < out.counts.size(); ++b) {
+    out.counts[b] += foreign_counts_[b];
+  }
+  out.count += foreign_count_;
+  out.sum += foreign_sum_;
+  return out;
+}
+
+// ---- Registry -------------------------------------------------------------
+
+Registry& Registry::instance() {
+  static Registry* registry = new Registry;  // leaked: safe during exit
+  return *registry;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_
+             .emplace(std::string{name},
+                      std::unique_ptr<Counter>{new Counter{std::string{name}}})
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_
+             .emplace(std::string{name},
+                      std::unique_ptr<Gauge>{new Gauge{std::string{name}}})
+             .first;
+  }
+  return *it->second;
+}
+
+Histogram& Registry::histogram(std::string_view name, std::vector<double> bounds) {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string{name}, std::unique_ptr<Histogram>{new Histogram{
+                                             std::string{name}, std::move(bounds)}})
+             .first;
+  }
+  return *it->second;
+}
+
+Snapshot Registry::snapshot() const {
+  Snapshot snap;
+  const std::lock_guard<std::mutex> lock{mutex_};
+  for (const auto& [name, counter] : counters_) {
+    snap.counters.emplace(name, counter->value());
+    snap.counter_slots.emplace(name, counter->per_slot());
+  }
+  for (const auto& [name, gauge] : gauges_) snap.gauges.emplace(name, gauge->value());
+  for (const auto& [name, hist] : histograms_) {
+    snap.histograms.emplace(name, hist->data());
+  }
+  return snap;
+}
+
+void Registry::reset_for_test() {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  for (auto& [name, counter] : counters_) {
+    for (auto& cell : counter->cells_) cell.v.store(0, std::memory_order_relaxed);
+    const std::lock_guard<std::mutex> flock{counter->foreign_mutex_};
+    counter->foreign_ = 0;
+  }
+  for (auto& [name, gauge] : gauges_) gauge->value_.store(0.0, std::memory_order_relaxed);
+  for (auto& [name, hist] : histograms_) {
+    for (auto& slot : hist->slots_) {
+      for (auto& c : slot->counts) c.store(0, std::memory_order_relaxed);
+      slot->count.store(0, std::memory_order_relaxed);
+      slot->sum.store(0.0, std::memory_order_relaxed);
+    }
+    const std::lock_guard<std::mutex> flock{hist->foreign_mutex_};
+    std::fill(hist->foreign_counts_.begin(), hist->foreign_counts_.end(), 0);
+    hist->foreign_count_ = 0;
+    hist->foreign_sum_ = 0.0;
+  }
+}
+
+}  // namespace bblab::obs

@@ -1,0 +1,230 @@
+// Low-overhead process-wide metrics registry.
+//
+// The pipeline's hot paths (per-household simulation, stats kernels, the
+// work-stealing pool's pop/steal) must be able to count events without
+// taking a lock or dirtying a shared cache line. Every instrument
+// therefore accumulates into per-thread slots: a thread that has claimed
+// a slot (core::ThreadPool workers claim one as they spawn, so slots
+// align with worker ids in spawn order; the main thread claims the first
+// slot it touches) pays exactly one relaxed atomic add per event, on a
+// cache line no other thread writes. Threads beyond the slot table — or
+// short-lived foreign threads — fall back to a mutex-guarded foreign
+// slot, so correctness never depends on slot availability. snapshot()
+// merges all slots; because slot cells are atomics, merged totals are
+// exact even while writers are running.
+//
+// Instruments are registered by name, never deleted, and handles stay
+// valid for the life of the process — hot callers cache a reference in a
+// function-local static and skip the name lookup thereafter. The
+// registry is a deliberately leaked singleton so metrics recorded from
+// thread_local destructors during shutdown never touch a dead object.
+//
+// Observability is a pure side channel: nothing in this file reads a
+// clock on behalf of simulated semantics, and no simulation result may
+// depend on a metric value.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bblab::obs {
+
+/// Fast per-thread slots (plus one implicit mutex-guarded foreign slot).
+/// 64 covers the main thread plus every worker of several concurrent
+/// pools; overflow threads are merely slower, never wrong.
+inline constexpr std::size_t kSlots = 64;
+
+namespace detail {
+/// Slot of the calling thread: claims one on first use, -1 once the
+/// table is exhausted (the caller must take the foreign path). Slots
+/// return to a free list when the thread exits, so reuse is bounded by
+/// *concurrent* thread count, not cumulative.
+[[nodiscard]] int current_slot() noexcept;
+}  // namespace detail
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void add(std::uint64_t n = 1) noexcept {
+    const int slot = detail::current_slot();
+    if (slot >= 0) {
+      cells_[static_cast<std::size_t>(slot)].v.fetch_add(n, std::memory_order_relaxed);
+      return;
+    }
+    const std::lock_guard<std::mutex> lock{foreign_mutex_};
+    foreign_ += n;
+  }
+
+  /// Merged total across every slot. Exact even under concurrent add().
+  [[nodiscard]] std::uint64_t value() const;
+
+  /// Per-slot values (slot i = the i-th claimed thread; the foreign slot
+  /// is appended last). Trimmed of trailing zeros. For per-worker
+  /// breakdowns of pool metrics.
+  [[nodiscard]] std::vector<std::uint64_t> per_slot() const;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+ private:
+  friend class Registry;
+  explicit Counter(std::string name) : name_{std::move(name)} {}
+
+  struct alignas(64) Cell {
+    std::atomic<std::uint64_t> v{0};
+  };
+
+  std::string name_;
+  std::vector<Cell> cells_{kSlots};
+  mutable std::mutex foreign_mutex_;
+  std::uint64_t foreign_{0};
+};
+
+/// Last-written (or running-max) scalar. Gauges are set rarely — process
+/// facts like peak RSS or the worker count — so a plain atomic double is
+/// enough.
+class Gauge {
+ public:
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  /// Monotonic set: keeps the larger of the current and new value.
+  void set_max(double v) noexcept {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !value_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  [[nodiscard]] double value() const { return value_.load(std::memory_order_relaxed); }
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+ private:
+  friend class Registry;
+  explicit Gauge(std::string name) : name_{std::move(name)} {}
+
+  std::string name_;
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram. Bucket i counts observations with
+/// value <= bounds[i] (first matching bucket); one overflow bucket
+/// catches everything above the last bound. Bounds are fixed at
+/// registration, so merging across slots is bucket-wise addition.
+class Histogram {
+ public:
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void observe(double value) noexcept;
+
+  struct Data {
+    std::vector<double> bounds;         ///< ascending upper bounds
+    std::vector<std::uint64_t> counts;  ///< bounds.size() + 1 (overflow last)
+    std::uint64_t count{0};
+    double sum{0.0};
+  };
+  [[nodiscard]] Data data() const;
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const std::vector<double>& bounds() const { return bounds_; }
+
+  /// Default bounds for latency-style values in milliseconds:
+  /// 0.25 ms .. 10 s, roughly 1-2-5 per decade.
+  [[nodiscard]] static std::vector<double> default_latency_bounds_ms();
+
+ private:
+  friend class Registry;
+  Histogram(std::string name, std::vector<double> bounds);
+
+  struct Slot {
+    explicit Slot(std::size_t buckets) : counts(buckets) {}
+    std::vector<std::atomic<std::uint64_t>> counts;
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<double> sum{0.0};
+  };
+
+  std::string name_;
+  std::vector<double> bounds_;
+  std::vector<std::unique_ptr<Slot>> slots_;  ///< kSlots fast slots
+  mutable std::mutex foreign_mutex_;
+  std::vector<std::uint64_t> foreign_counts_;
+  std::uint64_t foreign_count_{0};
+  double foreign_sum_{0.0};
+
+  [[nodiscard]] std::size_t bucket_of(double value) const noexcept;
+};
+
+/// Point-in-time merge of every registered instrument.
+struct Snapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, std::vector<std::uint64_t>> counter_slots;
+  std::map<std::string, double> gauges;
+  std::map<std::string, Histogram::Data> histograms;
+};
+
+/// The process-wide instrument registry. Lookup takes a mutex; hot
+/// callers do it once:
+///
+///   static obs::Counter& runs = obs::Registry::instance().counter("fluid.runs");
+///   runs.add();
+class Registry {
+ public:
+  [[nodiscard]] static Registry& instance();
+
+  /// Find-or-create by name. The returned reference is valid forever.
+  [[nodiscard]] Counter& counter(std::string_view name);
+  [[nodiscard]] Gauge& gauge(std::string_view name);
+  /// `bounds` is consulted only on first registration; empty means
+  /// Histogram::default_latency_bounds_ms().
+  [[nodiscard]] Histogram& histogram(std::string_view name,
+                                     std::vector<double> bounds = {});
+
+  [[nodiscard]] Snapshot snapshot() const;
+
+  /// Zero every instrument (handles stay valid). Test-only: concurrent
+  /// writers may add between the zeroing passes.
+  void reset_for_test();
+
+ private:
+  Registry() = default;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+/// Eagerly claim a per-thread slot for the calling thread. ThreadPool
+/// workers call this as they spawn so that slot order follows worker
+/// spawn order; any other thread may call it to move off the foreign
+/// path before entering a hot loop.
+void bind_thread_slot() noexcept;
+
+/// Adds elapsed wall milliseconds to a histogram on destruction. For
+/// coarse units of work (shards, publishes) — two clock reads per scope.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram& h)
+      : h_{&h}, start_{std::chrono::steady_clock::now()} {}
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+  ~ScopedTimer() {
+    const auto end = std::chrono::steady_clock::now();
+    h_->observe(std::chrono::duration<double, std::milli>{end - start_}.count());
+  }
+
+ private:
+  Histogram* h_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace bblab::obs

@@ -6,6 +6,7 @@
 #include <cstdio>
 
 #include "core/error.h"
+#include "obs/metrics.h"
 #include "stats/column.h"
 
 namespace bblab::stats {
@@ -123,6 +124,12 @@ double binomial_p_greater(std::uint64_t successes, std::uint64_t trials, double 
 std::vector<double> binomial_p_greater_batch(std::span<const std::uint64_t> successes,
                                              std::uint64_t trials, double p0) {
   require(p0 > 0.0 && p0 < 1.0, "binomial test: p0 must be in (0,1)");
+  static obs::Counter& batches =
+      obs::Registry::instance().counter("stats.binomial_batches");
+  static obs::Counter& tests =
+      obs::Registry::instance().counter("stats.binomial_tests");
+  batches.add();
+  tests.add(successes.size());
   std::vector<double> out(successes.size(), 1.0);
   if (successes.empty()) return out;
   for (const std::uint64_t k : successes) {

@@ -7,6 +7,7 @@
 #include <cmath>
 
 #include "core/error.h"
+#include "obs/metrics.h"
 #include "stats/quantile.h"
 
 namespace bblab::stats {
@@ -58,6 +59,11 @@ void radix_sort_impl(std::vector<std::uint64_t>& keys,
                      std::vector<Payload>* payload) {
   const std::size_t n = keys.size();
   if (n < 2) return;
+  static obs::Counter& sorts = obs::Registry::instance().counter("stats.radix_sorts");
+  static obs::Counter& sorted_keys =
+      obs::Registry::instance().counter("stats.radix_keys");
+  sorts.add();
+  sorted_keys.add(n);
   Histograms h;
   count_bytes(keys, h);
   std::vector<std::uint64_t> key_buf(n);
@@ -147,6 +153,11 @@ void ecdf_eval_sorted(std::span<const double> sorted_sample,
   }
   require(out.size() == sorted_queries.size(),
           "ecdf_eval_sorted: output size must match query count");
+  static obs::Counter& evals = obs::Registry::instance().counter("stats.ecdf_evals");
+  static obs::Counter& queries =
+      obs::Registry::instance().counter("stats.ecdf_queries");
+  evals.add();
+  queries.add(sorted_queries.size());
   const auto n = static_cast<double>(sorted_sample.size());
   std::size_t i = 0;
   double prev = -std::numeric_limits<double>::infinity();

@@ -3,11 +3,13 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdlib>
-#include <iostream>
 #include <system_error>
 #include <utility>
 
 #include "core/error.h"
+#include "core/logging.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 #include "store/bbs.h"
 
 namespace bblab::store {
@@ -56,8 +58,10 @@ std::size_t ArtifactCache::sweep_stale_tmp() const {
     if (age_s < ttl_s) continue;  // possibly a live writer's file
     std::error_code rec;
     if (std::filesystem::remove(entry.path(), rec) && !rec) {
-      std::cerr << "bblab: note: swept stale cache temp file " << entry.path()
-                << "\n";
+      log_info("cache: swept stale temp file ", entry.path().string());
+      static obs::Counter& swept =
+          obs::Registry::instance().counter("cache.stale_tmp_swept");
+      swept.add();
       ++removed;
     }
   }
@@ -82,15 +86,27 @@ std::filesystem::path ArtifactCache::entry_path(const Fingerprint& key) const {
 
 std::optional<dataset::StudyDataset> ArtifactCache::load(
     const Fingerprint& key, const market::World& world) const {
+  OBS_SPAN("cache.load");
+  static obs::Counter& hits = obs::Registry::instance().counter("cache.hits");
+  static obs::Counter& misses = obs::Registry::instance().counter("cache.misses");
+  static obs::Counter& evictions =
+      obs::Registry::instance().counter("cache.evictions");
   const std::filesystem::path path = entry_path(key);
   std::error_code ec;
-  if (!std::filesystem::exists(path, ec) || ec) return std::nullopt;
+  if (!std::filesystem::exists(path, ec) || ec) {
+    misses.add();
+    return std::nullopt;
+  }
   try {
-    return read_snapshot_file(path, world);
+    auto ds = read_snapshot_file(path, world);
+    hits.add();
+    return ds;
   } catch (const std::exception& e) {
     // A damaged entry must never fail the run — evict it and resimulate.
-    std::cerr << "bblab: warning: evicting unreadable cache entry " << path
-              << " (" << e.what() << ")\n";
+    log_warn("cache: evicting unreadable entry ", path.string(), " (", e.what(),
+             ")");
+    evictions.add();
+    misses.add();
     std::filesystem::remove(path, ec);
     return std::nullopt;
   }
@@ -98,6 +114,9 @@ std::optional<dataset::StudyDataset> ArtifactCache::load(
 
 std::filesystem::path ArtifactCache::store(const Fingerprint& key,
                                            const dataset::StudyDataset& ds) const {
+  OBS_SPAN("cache.store");
+  static obs::Counter& stores = obs::Registry::instance().counter("cache.stores");
+  stores.add();
   const std::filesystem::path path = entry_path(key);
   // Loser-discard under contention: the cache is content-addressed, so a
   // present entry already holds the bytes we would write. Skipping the

@@ -17,6 +17,8 @@
 #include "core/rng.h"
 #include "core/thread_pool.h"
 #include "core/watchdog.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 #include "store/bbs.h"
 #include "store/fingerprint.h"
 
@@ -207,6 +209,19 @@ struct Manifest {
 CheckpointedRun run_checkpointed(const market::World& world,
                                  const dataset::StudyConfig& config,
                                  const CheckpointOptions& opts) {
+  OBS_SPAN("run_checkpointed");
+  // Handles up front: the report's checkpoint section must exist (all
+  // zeros) even when every shard is reused or the run degrades early.
+  static obs::Counter& planned_c =
+      obs::Registry::instance().counter("checkpoint.shards_planned");
+  static obs::Counter& reused_c =
+      obs::Registry::instance().counter("checkpoint.shards_reused");
+  static obs::Counter& simulated_c =
+      obs::Registry::instance().counter("checkpoint.shards_simulated");
+  static obs::Counter& quarantined_c =
+      obs::Registry::instance().counter("checkpoint.shards_quarantined");
+  static obs::Counter& salvaged_c =
+      obs::Registry::instance().counter("checkpoint.segments_salvaged");
   require(!opts.dir.empty(), "run_checkpointed: empty checkpoint directory");
   core::FileSystem& fs = opts.fs != nullptr ? *opts.fs : core::FileSystem::instance();
   const Fingerprint key = dataset_fingerprint(config, world);
@@ -256,6 +271,7 @@ CheckpointedRun run_checkpointed(const market::World& world,
 
   CheckpointedRun run;
   run.shards_total = shards.size();
+  planned_c.add(shards.size());
 
   auto commit_shard = [&](const dataset::ShardSpec& spec, const std::string& file,
                           std::uint64_t file_hash) {
@@ -297,10 +313,12 @@ CheckpointedRun run_checkpointed(const market::World& world,
             // segment proved itself (checksums + fingerprint), so adopt
             // it and repair the index.
             log_info("checkpoint: salvaged uncommitted segment ", path.string());
+            salvaged_c.add();
             commit_shard(spec, file, file_hash);
           }
           merge_shard_output(ds, spec, to_shard_output(spec, std::move(sds)));
           run.shards_reused += 1;
+          reused_c.add();
           continue;
         } catch (const std::exception& e) {
           log_warn("checkpoint: cannot reuse ", path.string(), ": ", e.what(),
@@ -323,10 +341,13 @@ CheckpointedRun run_checkpointed(const market::World& world,
       ds.qc.add(spec.index, QuarantineReason::kDeadlineExceeded, spec.label(),
                 e.what());
       run.shards_failed += 1;
+      quarantined_c.add();
       continue;
     }
+    simulated_c.add();
 
     try {
+      OBS_SPAN("publish_shard", file);
       std::uint64_t file_hash = 0;
       core::with_retry(opts.retry, retry_rng, "publish " + spec.label(), [&] {
         write_snapshot_file(path, shard_dataset(config, spec, out), fs);
@@ -347,6 +368,7 @@ CheckpointedRun run_checkpointed(const market::World& world,
                " quarantined after exhausting retries: ", e.what());
       ds.qc.add(spec.index, QuarantineReason::kIoFailure, spec.label(), e.what());
       run.shards_failed += 1;
+      quarantined_c.add();
       continue;
     }
 

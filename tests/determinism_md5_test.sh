@@ -34,6 +34,24 @@ for t in 2 8; do
   [ "$got" = "$base" ] || fail "dataset md5 differs at $t threads: $got != $base"
 done
 
+# --- observability is a pure side channel ----------------------------------
+# The same generations with --metrics-out/--trace-out enabled must produce
+# byte-identical datasets at every thread count, and the side files must
+# actually appear (non-empty, structurally recognizable).
+for t in 1 2 8; do
+  "$BBLAB" generate $ARGS --threads "$t" --out "$WORK/obs$t" \
+      --metrics-out "$WORK/run$t.json" --trace-out "$WORK/trace$t.json" \
+      >/dev/null 2>&1 \
+    || fail "generate --threads $t with obs flags exited non-zero"
+  got=$(md5_tree "$WORK/obs$t")
+  [ "$got" = "$base" ] || fail "dataset md5 differs with obs at $t threads: $got != $base"
+  grep -q '"schema": "bblab-run-report"' "$WORK/run$t.json" \
+    || fail "run$t.json missing run-report schema marker"
+  grep -q '"traceEvents"' "$WORK/trace$t.json" \
+    || fail "trace$t.json missing traceEvents"
+done
+echo "dataset md5 with --metrics-out/--trace-out: unchanged"
+
 # --- figures: stdout rendering at 1 / 2 / 8 threads ------------------------
 for fig in fig1 fig2 fig6 fig10; do
   "$BBLAB" figure "$fig" $ARGS --threads 1 >"$WORK/$fig.1" 2>/dev/null \
@@ -46,6 +64,14 @@ for fig in fig1 fig2 fig6 fig10; do
     got=$(md5sum <"$WORK/$fig.$t" | cut -d' ' -f1)
     [ "$got" = "$base" ] || fail "$fig md5 differs at $t threads: $got != $base"
   done
+  # Figure stdout must not change when observability is on (the obs
+  # summary goes to stderr, the report/trace to side files).
+  "$BBLAB" figure "$fig" $ARGS --threads 2 \
+      --metrics-out "$WORK/$fig.run.json" --trace-out "$WORK/$fig.trace.json" \
+      >"$WORK/$fig.obs" 2>/dev/null \
+    || fail "figure $fig with obs flags exited non-zero"
+  got=$(md5sum <"$WORK/$fig.obs" | cut -d' ' -f1)
+  [ "$got" = "$base" ] || fail "$fig md5 differs with obs flags: $got != $base"
 done
 
 if [ "$fails" -ne 0 ]; then

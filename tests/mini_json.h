@@ -1,0 +1,231 @@
+// Minimal recursive-descent JSON parser for test assertions.
+//
+// Just enough JSON to validate the observability outputs (run reports,
+// Chrome traces): objects, arrays, strings with the escapes our writers
+// emit, numbers, booleans, null. Throws std::runtime_error on any
+// malformed input, which is exactly what the tests want to detect.
+#pragma once
+
+#include <cctype>
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace minijson {
+
+class Value;
+using Object = std::map<std::string, Value>;
+using Array = std::vector<Value>;
+
+class Value {
+ public:
+  std::variant<std::nullptr_t, bool, double, std::string,
+               std::shared_ptr<Object>, std::shared_ptr<Array>>
+      v{nullptr};
+
+  [[nodiscard]] bool is_object() const {
+    return std::holds_alternative<std::shared_ptr<Object>>(v);
+  }
+  [[nodiscard]] bool is_array() const {
+    return std::holds_alternative<std::shared_ptr<Array>>(v);
+  }
+  [[nodiscard]] bool is_string() const {
+    return std::holds_alternative<std::string>(v);
+  }
+  [[nodiscard]] bool is_number() const { return std::holds_alternative<double>(v); }
+
+  [[nodiscard]] const Object& object() const {
+    if (!is_object()) throw std::runtime_error{"not an object"};
+    return *std::get<std::shared_ptr<Object>>(v);
+  }
+  [[nodiscard]] const Array& array() const {
+    if (!is_array()) throw std::runtime_error{"not an array"};
+    return *std::get<std::shared_ptr<Array>>(v);
+  }
+  [[nodiscard]] const std::string& str() const {
+    if (!is_string()) throw std::runtime_error{"not a string"};
+    return std::get<std::string>(v);
+  }
+  [[nodiscard]] double num() const {
+    if (!is_number()) throw std::runtime_error{"not a number"};
+    return std::get<double>(v);
+  }
+
+  /// Object member access; throws if absent or not an object.
+  [[nodiscard]] const Value& at(const std::string& key) const {
+    const Object& o = object();
+    const auto it = o.find(key);
+    if (it == o.end()) throw std::runtime_error{"missing key: " + key};
+    return it->second;
+  }
+  [[nodiscard]] bool has(const std::string& key) const {
+    return is_object() && object().count(key) != 0;
+  }
+};
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : s_{text} {}
+
+  Value parse() {
+    Value v = value();
+    skip_ws();
+    if (i_ != s_.size()) throw std::runtime_error{"trailing content"};
+    return v;
+  }
+
+ private:
+  const std::string& s_;
+  std::size_t i_{0};
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error{what + " at offset " + std::to_string(i_)};
+  }
+
+  void skip_ws() {
+    while (i_ < s_.size() && (s_[i_] == ' ' || s_[i_] == '\t' || s_[i_] == '\n' ||
+                              s_[i_] == '\r')) {
+      ++i_;
+    }
+  }
+
+  char peek() {
+    if (i_ >= s_.size()) fail("unexpected end");
+    return s_[i_];
+  }
+
+  void expect(char c) {
+    if (i_ >= s_.size() || s_[i_] != c) fail(std::string{"expected '"} + c + "'");
+    ++i_;
+  }
+
+  bool consume_literal(const char* lit) {
+    const std::size_t n = std::char_traits<char>::length(lit);
+    if (s_.compare(i_, n, lit) != 0) return false;
+    i_ += n;
+    return true;
+  }
+
+  Value value() {
+    skip_ws();
+    const char c = peek();
+    if (c == '{') return object();
+    if (c == '[') return array();
+    if (c == '"') return Value{string()};
+    if (c == 't') {
+      if (!consume_literal("true")) fail("bad literal");
+      return Value{true};
+    }
+    if (c == 'f') {
+      if (!consume_literal("false")) fail("bad literal");
+      return Value{false};
+    }
+    if (c == 'n') {
+      if (!consume_literal("null")) fail("bad literal");
+      return Value{nullptr};
+    }
+    return number();
+  }
+
+  Value object() {
+    expect('{');
+    auto obj = std::make_shared<Object>();
+    skip_ws();
+    if (peek() == '}') {
+      ++i_;
+      return Value{std::move(obj)};
+    }
+    for (;;) {
+      skip_ws();
+      std::string key = string();
+      skip_ws();
+      expect(':');
+      (*obj)[std::move(key)] = value();
+      skip_ws();
+      if (peek() == ',') {
+        ++i_;
+        continue;
+      }
+      expect('}');
+      return Value{std::move(obj)};
+    }
+  }
+
+  Value array() {
+    expect('[');
+    auto arr = std::make_shared<Array>();
+    skip_ws();
+    if (peek() == ']') {
+      ++i_;
+      return Value{std::move(arr)};
+    }
+    for (;;) {
+      arr->push_back(value());
+      skip_ws();
+      if (peek() == ',') {
+        ++i_;
+        continue;
+      }
+      expect(']');
+      return Value{std::move(arr)};
+    }
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (i_ >= s_.size()) fail("unterminated string");
+      const char c = s_[i_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (i_ >= s_.size()) fail("unterminated escape");
+        const char e = s_[i_++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'u': {
+            if (i_ + 4 > s_.size()) fail("short \\u escape");
+            // Control characters only in our writers; keep the raw code
+            // point truncated to a byte, enough for round-trip checks.
+            const std::string hex = s_.substr(i_, 4);
+            i_ += 4;
+            out += static_cast<char>(std::stoi(hex, nullptr, 16) & 0xFF);
+            break;
+          }
+          default: fail("bad escape");
+        }
+        continue;
+      }
+      out += c;
+    }
+  }
+
+  Value number() {
+    const std::size_t start = i_;
+    if (i_ < s_.size() && (s_[i_] == '-' || s_[i_] == '+')) ++i_;
+    bool digits = false;
+    while (i_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[i_])) != 0 || s_[i_] == '.' ||
+            s_[i_] == 'e' || s_[i_] == 'E' || s_[i_] == '-' || s_[i_] == '+')) {
+      if (std::isdigit(static_cast<unsigned char>(s_[i_])) != 0) digits = true;
+      ++i_;
+    }
+    if (!digits) fail("bad number");
+    return Value{std::stod(s_.substr(start, i_ - start))};
+  }
+};
+
+inline Value parse(const std::string& text) { return Parser{text}.parse(); }
+
+}  // namespace minijson

@@ -1,0 +1,188 @@
+// Metrics-registry contract: per-thread slot accumulation must merge
+// exactly under full pool concurrency, histogram bucket edges must be
+// inclusive upper bounds, and snapshots must be safe to take while
+// writers are running (the tsan smoke target runs these same tests).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/thread_pool.h"
+#include "obs/metrics.h"
+
+namespace obs = bblab::obs;
+
+TEST(ObsCounter, SingleThreadExact) {
+  obs::Counter& c = obs::Registry::instance().counter("test.single");
+  const std::uint64_t before = c.value();
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), before + 42);
+}
+
+TEST(ObsCounter, SameNameSameInstrument) {
+  obs::Counter& a = obs::Registry::instance().counter("test.samename");
+  obs::Counter& b = obs::Registry::instance().counter("test.samename");
+  EXPECT_EQ(&a, &b);
+  obs::Gauge& g1 = obs::Registry::instance().gauge("test.samename.g");
+  obs::Gauge& g2 = obs::Registry::instance().gauge("test.samename.g");
+  EXPECT_EQ(&g1, &g2);
+}
+
+// The load-bearing property: N threads hammering one counter through the
+// work-stealing pool lose nothing. Slot cells are atomics, so the merged
+// total is exact even though no thread ever takes a lock.
+TEST(ObsCounter, ConcurrentIncrementsMergeExactly) {
+  obs::Counter& c = obs::Registry::instance().counter("test.concurrent");
+  const std::uint64_t before = c.value();
+  constexpr std::size_t kItems = 200000;
+  bblab::core::ThreadPool pool{8};
+  bblab::core::parallel_for(pool, kItems, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) c.add();
+  });
+  pool.shutdown();
+  EXPECT_EQ(c.value(), before + kItems);
+}
+
+TEST(ObsCounter, PerSlotSumsToTotal) {
+  obs::Counter& c = obs::Registry::instance().counter("test.perslot");
+  bblab::core::ThreadPool pool{4};
+  bblab::core::parallel_for(pool, 10000, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) c.add();
+  });
+  pool.shutdown();
+  std::uint64_t sum = 0;
+  for (const std::uint64_t v : c.per_slot()) sum += v;
+  EXPECT_EQ(sum, c.value());
+}
+
+// Raw std::threads (not pool workers) must also count exactly — they
+// lease slots on first touch and return them at exit.
+TEST(ObsCounter, ForeignThreadsCountExactly) {
+  obs::Counter& c = obs::Registry::instance().counter("test.foreign");
+  const std::uint64_t before = c.value();
+  constexpr int kThreads = 16;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kPerThread; ++i) c.add();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(), before + static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(ObsGauge, SetAndSetMax) {
+  obs::Gauge& g = obs::Registry::instance().gauge("test.gauge");
+  g.set(2.5);
+  EXPECT_DOUBLE_EQ(g.value(), 2.5);
+  g.set_max(1.0);  // smaller: no-op
+  EXPECT_DOUBLE_EQ(g.value(), 2.5);
+  g.set_max(7.25);
+  EXPECT_DOUBLE_EQ(g.value(), 7.25);
+}
+
+// Bucket i counts values <= bounds[i] (first matching); the last bucket
+// is the overflow. Edge values land in the bucket whose bound they equal.
+TEST(ObsHistogram, BucketEdgesAreInclusiveUpperBounds) {
+  obs::Histogram& h =
+      obs::Registry::instance().histogram("test.hist.edges", {1.0, 2.0, 5.0});
+  h.observe(0.5);   // <= 1       -> bucket 0
+  h.observe(1.0);   // == 1       -> bucket 0 (inclusive)
+  h.observe(1.001); // (1, 2]     -> bucket 1
+  h.observe(2.0);   // == 2       -> bucket 1
+  h.observe(5.0);   // == 5       -> bucket 2
+  h.observe(5.001); // > last     -> overflow
+  h.observe(1e12);  // way over   -> overflow
+  const auto data = h.data();
+  ASSERT_EQ(data.bounds.size(), 3u);
+  ASSERT_EQ(data.counts.size(), 4u);
+  EXPECT_EQ(data.counts[0], 2u);
+  EXPECT_EQ(data.counts[1], 2u);
+  EXPECT_EQ(data.counts[2], 1u);
+  EXPECT_EQ(data.counts[3], 2u);
+  EXPECT_EQ(data.count, 7u);
+  EXPECT_NEAR(data.sum, 0.5 + 1.0 + 1.001 + 2.0 + 5.0 + 5.001 + 1e12, 1e-3);
+}
+
+TEST(ObsHistogram, UnsortedBoundsAreSorted) {
+  obs::Histogram& h =
+      obs::Registry::instance().histogram("test.hist.unsorted", {5.0, 1.0, 2.0});
+  const auto& b = h.bounds();
+  ASSERT_EQ(b.size(), 3u);
+  EXPECT_TRUE(b[0] < b[1] && b[1] < b[2]);
+}
+
+TEST(ObsHistogram, DefaultBoundsAscending) {
+  const auto bounds = obs::Histogram::default_latency_bounds_ms();
+  ASSERT_FALSE(bounds.empty());
+  for (std::size_t i = 1; i < bounds.size(); ++i) {
+    EXPECT_LT(bounds[i - 1], bounds[i]);
+  }
+}
+
+TEST(ObsHistogram, ConcurrentObservationsMergeExactly) {
+  obs::Histogram& h =
+      obs::Registry::instance().histogram("test.hist.concurrent", {10.0, 100.0});
+  constexpr std::size_t kItems = 60000;
+  bblab::core::ThreadPool pool{8};
+  bblab::core::parallel_for(pool, kItems, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      h.observe(static_cast<double>(i % 200));
+    }
+  });
+  pool.shutdown();
+  const auto data = h.data();
+  EXPECT_EQ(data.count, kItems);
+  EXPECT_EQ(data.counts[0] + data.counts[1] + data.counts[2], kItems);
+}
+
+// Snapshot-while-writing: totals observed mid-flight must be sane (never
+// above what was added, never torn), and the final snapshot exact. Run
+// under tsan via the parallel label.
+TEST(ObsRegistry, SnapshotWhileWritingIsSafeAndFinalExact) {
+  obs::Counter& c = obs::Registry::instance().counter("test.snapshot.race");
+  const std::uint64_t before = c.value();
+  constexpr std::size_t kItems = 150000;
+  std::atomic<bool> done{false};
+  bblab::core::ThreadPool pool{4};
+  std::thread snapshotter{[&] {
+    while (!done.load(std::memory_order_acquire)) {
+      const obs::Snapshot snap = obs::Registry::instance().snapshot();
+      const auto it = snap.counters.find("test.snapshot.race");
+      ASSERT_NE(it, snap.counters.end());
+      EXPECT_GE(it->second, before);
+      EXPECT_LE(it->second, before + kItems);
+    }
+  }};
+  bblab::core::parallel_for(pool, kItems, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) c.add();
+  });
+  pool.shutdown();
+  done.store(true, std::memory_order_release);
+  snapshotter.join();
+  EXPECT_EQ(c.value(), before + kItems);
+}
+
+TEST(ObsRegistry, SnapshotContainsAllKinds) {
+  (void)obs::Registry::instance().counter("test.kinds.counter");
+  obs::Registry::instance().gauge("test.kinds.gauge").set(3.5);
+  obs::Registry::instance().histogram("test.kinds.hist").observe(1.0);
+  const obs::Snapshot snap = obs::Registry::instance().snapshot();
+  EXPECT_EQ(snap.counters.count("test.kinds.counter"), 1u);
+  EXPECT_EQ(snap.gauges.count("test.kinds.gauge"), 1u);
+  EXPECT_EQ(snap.histograms.count("test.kinds.hist"), 1u);
+}
+
+TEST(ObsScopedTimer, ObservesElapsedOnDestruction) {
+  obs::Histogram& h = obs::Registry::instance().histogram("test.timer");
+  const auto before = h.data().count;
+  { const obs::ScopedTimer t{h}; }
+  const auto data = h.data();
+  EXPECT_EQ(data.count, before + 1);
+}

@@ -25,6 +25,10 @@
 //   --retries N     I/O retry attempts for transient failures (default 4)
 //   --fs-faults SPEC filesystem fault plan, e.g. "eio@3x2,crash@7"
 //                   (also read from $BBLAB_FS_FAULTS)
+//   --log-level L   debug|info|warn|error|off (default warn; also
+//                   $BBLAB_LOG_LEVEL, flag wins)
+//   --metrics-out F write a schema-versioned JSON run report to F
+//   --trace-out F   record tracing spans, write Chrome trace JSON to F
 //
 // Exit codes: 0 success, 1 error, 2 usage, 4 completed degraded (one or
 // more shards quarantined; dataset is partial), 64 injected crash.
@@ -49,6 +53,8 @@
 #include "faults/fault_plan.h"
 #include "faults/fs_faults.h"
 #include "market/catalog.h"
+#include "obs/report.h"
+#include "obs/span.h"
 #include "store/bbs.h"
 #include "store/cache.h"
 #include "store/checkpoint.h"
@@ -75,6 +81,9 @@ struct CliOptions {
   double deadline_s{0.0};  ///< per-shard deadline; <= 0 disables
   int retries{0};          ///< 0 = RetryPolicy default
   std::string fs_faults;   ///< FsFaultPlan::parse spec; empty = clean
+  std::string log_level;   ///< empty = $BBLAB_LOG_LEVEL or "warn"
+  std::string metrics_out; ///< run-report JSON path; empty = off
+  std::string trace_out;   ///< Chrome trace JSON path; empty = tracing off
   std::vector<std::string> positional;
 };
 
@@ -105,9 +114,21 @@ int usage() {
          "        --checkpoint DIR [--resume] --deadline SECONDS --retries N\n"
          "        --fs-faults SPEC (e.g. \"eio@3x2,crash@7\"; also "
          "$BBLAB_FS_FAULTS)\n"
+         "        --log-level debug|info|warn|error|off (also $BBLAB_LOG_LEVEL)\n"
+         "        --metrics-out FILE (JSON run report) --trace-out FILE "
+         "(Chrome trace)\n"
          "exit codes: 0 ok, 1 error, 2 usage, 4 degraded (shards quarantined),\n"
          "            64 injected crash\n";
   return 2;
+}
+
+std::optional<LogLevel> parse_log_level(const std::string& name) {
+  if (name == "debug") return LogLevel::kDebug;
+  if (name == "info") return LogLevel::kInfo;
+  if (name == "warn") return LogLevel::kWarn;
+  if (name == "error") return LogLevel::kError;
+  if (name == "off") return LogLevel::kOff;
+  return std::nullopt;
 }
 
 bool parse(int argc, char** argv, CliOptions& options) {
@@ -166,6 +187,18 @@ bool parse(int argc, char** argv, CliOptions& options) {
       const char* v = next();
       if (v == nullptr) return false;
       options.fs_faults = v;
+    } else if (arg == "--log-level") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options.log_level = v;
+    } else if (arg == "--metrics-out") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options.metrics_out = v;
+    } else if (arg == "--trace-out") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options.trace_out = v;
     } else if (arg == "--qc-report") {
       options.qc_report = true;
     } else if (arg == "--placebo") {
@@ -239,6 +272,7 @@ dataset::StudyDataset generate_dataset(const CliOptions& options,
 }
 
 DatasetResult make_dataset(const CliOptions& options) {
+  const obs::ScopedPhase phase{"dataset"};
   const auto config = study_config(options);
   DatasetResult result;
   if (options.cache) {
@@ -306,6 +340,7 @@ int cmd_markets(const CliOptions& options) {
 int cmd_generate(const CliOptions& options) {
   const auto result = make_dataset(options);
   const auto& ds = result.ds;
+  const obs::ScopedPhase phase{"output"};
   const std::filesystem::path dir{options.out};
   std::filesystem::create_directories(dir);
   // Serialization-level faults mangle the CSV text itself; each file gets
@@ -374,6 +409,7 @@ int cmd_experiment(const CliOptions& options) {
   }
   const auto result = make_dataset(options);
   const auto& ds = result.ds;
+  const obs::ScopedPhase phase{"analysis"};
   auto& out = std::cout;
 
   if (which == "tab1") {
@@ -422,6 +458,7 @@ int cmd_figure(const CliOptions& options) {
   }
   const auto result = make_dataset(options);
   const auto& ds = result.ds;
+  const obs::ScopedPhase phase{"analysis"};
   auto& out = std::cout;
 
   if (which == "fig1") {
@@ -456,6 +493,7 @@ int cmd_pack(const CliOptions& options) {
   const std::filesystem::path out{options.positional.front()};
   const auto result = make_dataset(options);
   const auto& ds = result.ds;
+  const obs::ScopedPhase phase{"output"};
   store::write_snapshot_file(out, ds);
   std::cout << "packed " << ds.dasu.size() << " + " << ds.fcc.size()
             << " user records, " << ds.upgrades.size() << " upgrade pairs, "
@@ -533,6 +571,34 @@ int cmd_cache(const CliOptions& options) {
   return usage();
 }
 
+/// Write the observability outputs (--metrics-out / --trace-out) and the
+/// stderr headline summary. Plain ofstream, not core::FileSystem: the
+/// side channel must not count its own bytes or die to fault injection.
+void write_obs_outputs(const CliOptions& options, const std::string& command,
+                       int rc) {
+  if (options.metrics_out.empty() && options.trace_out.empty()) return;
+  if (!options.metrics_out.empty()) {
+    std::ofstream out{options.metrics_out};
+    if (out) {
+      obs::write_run_report(out, command, rc);
+    } else {
+      std::cerr << "warning: cannot write metrics report to "
+                << options.metrics_out << "\n";
+    }
+  }
+  if (!options.trace_out.empty()) {
+    std::ofstream out{options.trace_out};
+    if (out) {
+      obs::write_chrome_trace(out);
+    } else {
+      std::cerr << "warning: cannot write trace to " << options.trace_out << "\n";
+    }
+  }
+  // Headline numbers go to stderr only when observability was requested,
+  // so default runs keep their exact stderr (tests depend on it).
+  obs::write_summary(std::cerr);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -544,6 +610,30 @@ int main(int argc, char** argv) {
     std::cerr << "--resume requires --checkpoint DIR\n";
     return usage();
   }
+
+  // Log level: hardcoded default < $BBLAB_LOG_LEVEL < --log-level. A bad
+  // flag is a usage error; a bad env value only warns (a script-wide env
+  // must not brick every invocation).
+  if (const char* env = std::getenv("BBLAB_LOG_LEVEL");
+      env != nullptr && *env != '\0') {
+    if (const auto level = parse_log_level(env)) {
+      set_log_level(*level);
+    } else {
+      std::cerr << "warning: ignoring invalid $BBLAB_LOG_LEVEL '" << env
+                << "' (want debug|info|warn|error|off)\n";
+    }
+  }
+  if (!options.log_level.empty()) {
+    const auto level = parse_log_level(options.log_level);
+    if (!level) {
+      std::cerr << "invalid --log-level '" << options.log_level
+                << "' (want debug|info|warn|error|off)\n";
+      return usage();
+    }
+    set_log_level(*level);
+  }
+
+  if (!options.trace_out.empty()) obs::set_tracing(true);
 
   // Filesystem fault injection: installed process-wide before any I/O so
   // the whole storage stack (snapshots, cache, checkpoints) runs through
@@ -565,7 +655,13 @@ int main(int argc, char** argv) {
   }
 
   const std::string command = argv[1];
-  try {
+  std::string command_line = command;
+  for (int i = 2; i < argc; ++i) command_line += std::string{" "} + argv[i];
+
+  // Dispatch through a lambda so every exit path (success, degraded,
+  // error — but not an injected crash, which simulates process death)
+  // flows past the observability writer below.
+  const auto dispatch = [&]() -> int {
     if (command == "markets") return cmd_markets(options);
     if (command == "generate") return cmd_generate(options);
     if (command == "ingest") return cmd_ingest(options);
@@ -576,6 +672,7 @@ int main(int argc, char** argv) {
     if (command == "cache") return cmd_cache(options);
     if (command == "scorecard") {
       const auto result = make_dataset(options);
+      const obs::ScopedPhase phase{"analysis"};
       const auto card = analysis::run_scorecard(result.ds);
       if (options.markdown) {
         std::cout << card.to_markdown();
@@ -584,6 +681,12 @@ int main(int argc, char** argv) {
       }
       return exit_code(result, card.pass_rate() >= 0.7 ? 0 : 1);
     }
+    return usage();
+  };
+
+  int rc = 0;
+  try {
+    rc = dispatch();
   } catch (const faults::InjectedCrash& e) {
     // Simulated process death: report and leave immediately, skipping
     // every destructor — exactly the state a real crash leaves behind.
@@ -591,7 +694,10 @@ int main(int argc, char** argv) {
     std::_Exit(kExitInjectedCrash);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
-    return 1;
+    rc = 1;
   }
-  return usage();
+  // Usage errors (2) keep their exact contract: usage text on stderr,
+  // nothing else, no side files.
+  if (rc != 2) write_obs_outputs(options, command_line, rc);
+  return rc;
 }

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Gate a Google Benchmark JSON report on the work-stealing speedup.
+
+Reads the JSON produced by `perf_pipeline --benchmark_out=... \
+--benchmark_out_format=json` and fails (exit 1) unless every
+BM_SkewedPipelineSchedule entry at >= --min-workers workers reports a
+`virtual_speedup_vs_static` counter of at least --min-speedup.
+
+The counter is a deterministic makespan ratio computed from per-task
+serial costs (see bench/perf_pipeline.cpp), so it is stable even on the
+single-core CI runners where wall-clock speedup is unmeasurable.
+
+Usage:
+  check_speedup_gate.py BENCH_JSON [--min-speedup 2.0] [--min-workers 4]
+"""
+
+import argparse
+import json
+import re
+import sys
+
+BENCH_NAME = "BM_SkewedPipelineSchedule"
+COUNTER = "virtual_speedup_vs_static"
+
+
+def workers_of(name):
+    """BM_SkewedPipelineSchedule/8/real_time -> 8, or None."""
+    m = re.match(re.escape(BENCH_NAME) + r"/(\d+)(?:/|$)", name)
+    return int(m.group(1)) if m else None
+
+
+def main(argv):
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("report", help="benchmark JSON report file")
+    ap.add_argument("--min-speedup", type=float, default=2.0)
+    ap.add_argument("--min-workers", type=int, default=4,
+                    help="only gate entries with at least this many workers")
+    args = ap.parse_args(argv)
+
+    try:
+        with open(args.report, encoding="utf-8") as f:
+            report = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"check_speedup_gate: cannot read {args.report}: {e}",
+              file=sys.stderr)
+        return 1
+
+    gated = []
+    for bench in report.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            continue
+        w = workers_of(bench.get("name", ""))
+        if w is None or w < args.min_workers:
+            continue
+        if COUNTER not in bench:
+            print(f"check_speedup_gate: {bench['name']} missing counter "
+                  f"{COUNTER}", file=sys.stderr)
+            return 1
+        gated.append((bench["name"], float(bench[COUNTER])))
+
+    if not gated:
+        print(f"check_speedup_gate: no {BENCH_NAME} entries with >= "
+              f"{args.min_workers} workers in {args.report}", file=sys.stderr)
+        return 1
+
+    failed = False
+    for name, speedup in gated:
+        ok = speedup >= args.min_speedup
+        status = "ok" if ok else "FAIL"
+        print(f"{status}: {name}: {COUNTER} = {speedup:.2f} "
+              f"(min {args.min_speedup:.2f})")
+        failed = failed or not ok
+
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
