@@ -1,0 +1,227 @@
+// Load generator + acceptance bench for `bblab serve`.
+//
+// Boots an in-process daemon on a unix socket, hammers it with mixed
+// figure/experiment/ping queries from concurrent clients at 1 / 2 / 8
+// worker threads, and records per-configuration throughput and latency
+// (p50/p99) to BENCH_serve.json. Every response body is md5-compared
+// against the single-process render oracle; a mismatch or a non-ok
+// status counts as a dropped response. The CI gate
+// (tools/check_serve_gate.py) demands >= 1000 mixed queries/sec,
+// zero drops, and a bounded p99.
+//
+// Not a google-benchmark binary: the unit of interest is a whole
+// daemon configuration under concurrent load, not a single timed loop.
+//
+// Usage: perf_serve [--out BENCH_serve.json] [--queries N]
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "analysis/render.h"
+#include "core/logging.h"
+#include "core/signal.h"
+#include "dataset/generator.h"
+#include "serve/client.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+#include "store/bbs.h"
+
+namespace {
+
+using namespace bblab;
+using Clock = std::chrono::steady_clock;
+
+struct QueryCase {
+  serve::Request request;
+  std::string oracle;  ///< expected response body, rendered directly
+};
+
+struct ConfigResult {
+  std::size_t threads{0};
+  std::size_t clients{0};
+  std::size_t queries{0};
+  double seconds{0};
+  double qps{0};
+  double p50_ms{0};
+  double p99_ms{0};
+  std::size_t dropped{0};     ///< non-ok statuses + transport failures
+  std::size_t mismatches{0};  ///< ok responses whose bytes diverged
+};
+
+double percentile(std::vector<double>& sorted_ms, double p) {
+  if (sorted_ms.empty()) return 0;
+  const auto idx = static_cast<std::size_t>(
+      p * static_cast<double>(sorted_ms.size() - 1) + 0.5);
+  return sorted_ms[std::min(idx, sorted_ms.size() - 1)];
+}
+
+ConfigResult run_config(const std::filesystem::path& dir,
+                        const std::filesystem::path& snapshot,
+                        const std::vector<QueryCase>& cases,
+                        std::size_t threads, std::size_t total_queries) {
+  core::reset_shutdown_for_test();
+  serve::ServerOptions options;
+  options.socket = dir / ("bb" + std::to_string(threads) + ".sock");
+  options.threads = threads;
+  options.install_signals = false;
+  serve::Server server{std::move(options)};
+  server.bind();
+  std::thread daemon{[&server] { server.run(); }};
+
+  const std::size_t clients = std::max<std::size_t>(4, threads * 2);
+  const std::size_t per_client = total_queries / clients;
+  std::vector<std::vector<double>> latencies(clients);
+  std::atomic<std::size_t> dropped{0};
+  std::atomic<std::size_t> mismatches{0};
+
+  const auto start = Clock::now();
+  std::vector<std::thread> workers;
+  for (std::size_t c = 0; c < clients; ++c) {
+    workers.emplace_back([&, c] {
+      latencies[c].reserve(per_client);
+      try {
+        serve::Client client{server.socket_path()};
+        for (std::size_t q = 0; q < per_client; ++q) {
+          const auto& tc = cases[(c + q) % cases.size()];
+          const auto t0 = Clock::now();
+          const auto response = client.call(tc.request, /*timeout_ms=*/30000);
+          const auto t1 = Clock::now();
+          latencies[c].push_back(
+              std::chrono::duration<double, std::milli>(t1 - t0).count());
+          if (response.status != serve::Status::kOk) {
+            ++dropped;
+          } else if (response.body != tc.oracle) {
+            ++mismatches;
+          }
+        }
+      } catch (const std::exception& e) {
+        // A dead client drops everything it had left.
+        dropped += per_client - latencies[c].size();
+        std::fprintf(stderr, "client %zu died: %s\n", c, e.what());
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  const auto elapsed =
+      std::chrono::duration<double>(Clock::now() - start).count();
+
+  server.stop();
+  daemon.join();
+  core::reset_shutdown_for_test();
+
+  std::vector<double> all;
+  for (const auto& v : latencies) all.insert(all.end(), v.begin(), v.end());
+  std::sort(all.begin(), all.end());
+
+  ConfigResult r;
+  r.threads = threads;
+  r.clients = clients;
+  r.queries = per_client * clients;
+  r.seconds = elapsed;
+  r.qps = elapsed > 0 ? static_cast<double>(r.queries) / elapsed : 0;
+  r.p50_ms = percentile(all, 0.50);
+  r.p99_ms = percentile(all, 0.99);
+  r.dropped = dropped.load();
+  r.mismatches = mismatches.load();
+  (void)snapshot;
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bblab::set_log_level(bblab::LogLevel::kWarn);
+  std::filesystem::path out = "BENCH_serve.json";
+  std::size_t total_queries = 4000;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out = argv[++i];
+    } else if (std::strcmp(argv[i], "--queries") == 0 && i + 1 < argc) {
+      total_queries = static_cast<std::size_t>(std::stoull(argv[++i]));
+    } else {
+      std::fprintf(stderr, "usage: perf_serve [--out FILE] [--queries N]\n");
+      return 2;
+    }
+  }
+
+  const auto dir =
+      std::filesystem::temp_directory_path() / "bblab_perf_serve";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+
+  // A multi-section snapshot big enough that render work dominates the
+  // framing overhead, small enough to keep the bench quick.
+  dataset::StudyConfig config;
+  config.seed = 2014;
+  config.population_scale = 0.02;
+  config.window_days = 0.3;
+  const auto ds =
+      dataset::StudyGenerator{market::World::builtin(), config}.generate();
+  const auto snapshot = dir / "snap.bbs";
+  store::write_snapshot_file(snapshot, ds);
+
+  // Mixed query set with oracle bytes rendered directly (the same render
+  // layer the CLI prints through, so CLI stdout is md5-identical).
+  std::vector<QueryCase> cases;
+  cases.push_back({serve::Request{serve::RequestKind::kPing, "", ""}, "pong"});
+  for (const auto& name : analysis::figure_names()) {
+    std::ostringstream os;
+    analysis::render_figure(os, name, ds);
+    cases.push_back(
+        {serve::Request{serve::RequestKind::kFigure, name, snapshot.string()},
+         os.str()});
+  }
+  for (const auto& name : analysis::experiment_names()) {
+    std::ostringstream os;
+    analysis::render_experiment(os, name, ds);
+    cases.push_back({serve::Request{serve::RequestKind::kExperiment, name,
+                                    snapshot.string()},
+                     os.str()});
+  }
+
+  std::ostringstream json;
+  json << "{\n  \"schema\": \"bblab-serve-bench\",\n  \"benchmarks\": [\n";
+  bool first = true;
+  bool ok = true;
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    const auto r = run_config(dir, snapshot, cases, threads, total_queries);
+    std::printf(
+        "threads=%zu clients=%zu queries=%zu %.2fs qps=%.0f p50=%.2fms "
+        "p99=%.2fms dropped=%zu mismatches=%zu\n",
+        r.threads, r.clients, r.queries, r.seconds, r.qps, r.p50_ms, r.p99_ms,
+        r.dropped, r.mismatches);
+    ok = ok && r.dropped == 0 && r.mismatches == 0;
+    char row[512];
+    std::snprintf(row, sizeof row,
+                  "    {\"name\": \"serve_mixed/threads:%zu\", "
+                  "\"threads\": %zu, \"clients\": %zu, \"queries\": %zu, "
+                  "\"seconds\": %.4f, \"qps\": %.1f, \"p50_ms\": %.3f, "
+                  "\"p99_ms\": %.3f, \"dropped\": %zu, \"mismatches\": %zu}",
+                  r.threads, r.threads, r.clients, r.queries, r.seconds, r.qps,
+                  r.p50_ms, r.p99_ms, r.dropped, r.mismatches);
+    json << (first ? "" : ",\n") << row;
+    first = false;
+  }
+  json << "\n  ]\n}\n";
+
+  std::ofstream f{out, std::ios::trunc};
+  f << json.str();
+  f.close();
+  std::printf("wrote %s\n", out.string().c_str());
+
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+  if (!ok) {
+    std::fprintf(stderr, "perf_serve: dropped or mismatched responses\n");
+    return 1;
+  }
+  return 0;
+}

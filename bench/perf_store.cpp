@@ -3,7 +3,12 @@
 //
 //   BM_ColdSimulate    full StudyGenerator run (the price of a cache miss)
 //   BM_SnapshotWrite   serializing the generated dataset to disk
-//   BM_SnapshotLoad    reloading it (the price of `bblab cat` / a warm read)
+//   BM_SnapshotLoad    reloading it via istream (the pre-mmap baseline)
+//   BM_ViewLoad        reloading it via mmap + SnapshotView (what
+//                      `bblab cat` and the serve daemon use now)
+//   BM_ViewConfig      config-only decode through the footer index —
+//                      the fingerprint probe the serve LRU issues per
+//                      request, without touching the record sections
 //   BM_CacheHit        fingerprint lookup + load through ArtifactCache
 //
 // Arg is population scale in thousandths: 100 -> scale 0.1 (~7k simulated
@@ -110,6 +115,37 @@ void BM_SnapshotLoad(benchmark::State& state) {
                                 std::filesystem::file_size(path)));
 }
 BENCHMARK(BM_SnapshotLoad)->Arg(100)->Arg(1600)->Unit(benchmark::kMillisecond);
+
+void BM_ViewLoad(benchmark::State& state) {
+  const auto& ds = dataset_at(static_cast<double>(state.range(0)) / 1000.0);
+  const auto path = bench_dir() / "view.bbs";
+  store::write_snapshot_file(path, ds);
+  for (auto _ : state) {
+    const auto view = store::SnapshotView::open(path);
+    const auto back = view.dataset();
+    benchmark::DoNotOptimize(back);
+  }
+  state.counters["household_windows"] =
+      static_cast<double>(household_windows(ds));
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations() *
+                                std::filesystem::file_size(path)));
+}
+BENCHMARK(BM_ViewLoad)->Arg(100)->Arg(1600)->Unit(benchmark::kMillisecond);
+
+void BM_ViewConfig(benchmark::State& state) {
+  const auto& ds = dataset_at(static_cast<double>(state.range(0)) / 1000.0);
+  const auto path = bench_dir() / "view_cfg.bbs";
+  store::write_snapshot_file(path, ds);
+  for (auto _ : state) {
+    const auto view = store::SnapshotView::open(path);
+    const auto config = view.config();
+    benchmark::DoNotOptimize(config);
+  }
+  state.counters["household_windows"] =
+      static_cast<double>(household_windows(ds));
+}
+BENCHMARK(BM_ViewConfig)->Arg(100)->Arg(1600)->Unit(benchmark::kMillisecond);
 
 void BM_CacheHit(benchmark::State& state) {
   const double scale = static_cast<double>(state.range(0)) / 1000.0;

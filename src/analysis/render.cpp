@@ -1,0 +1,111 @@
+#include "analysis/render.h"
+
+#include <cstdio>
+#include <ostream>
+#include <string>
+
+#include "analysis/figures.h"
+#include "analysis/report.h"
+#include "analysis/scorecard.h"
+#include "analysis/tables.h"
+#include "market/catalog.h"
+
+namespace bblab::analysis {
+
+const std::vector<std::string>& figure_names() {
+  static const std::vector<std::string> kNames{"fig1", "fig2", "fig6", "fig10"};
+  return kNames;
+}
+
+const std::vector<std::string>& experiment_names() {
+  static const std::vector<std::string> kNames{"tab1", "tab2", "tab3", "tab5",
+                                               "tab6", "tab7", "tab8"};
+  return kNames;
+}
+
+bool render_figure(std::ostream& out, const std::string& name,
+                   const dataset::StudyDataset& ds) {
+  if (name == "fig1") {
+    const auto fig = fig1_characteristics(ds);
+    print_ecdf(out, "capacity [Mbps]", fig.capacity_mbps);
+    print_ecdf(out, "latency [ms]", fig.latency_ms);
+    print_ecdf(out, "loss [%]", fig.loss_pct);
+  } else if (name == "fig2") {
+    const auto fig = fig2_capacity_vs_usage(ds);
+    print_series(out, "mean w/ BT", fig.mean_bt);
+    print_series(out, "p95 w/ BT", fig.peak_bt);
+    print_series(out, "mean no BT", fig.mean_nobt);
+    print_series(out, "p95 no BT", fig.peak_nobt);
+  } else if (name == "fig6") {
+    const auto fig = fig6_longitudinal(ds);
+    for (const auto& [year, series] : fig.peak_nobt) {
+      print_series(out, "p95 no BT " + std::to_string(year), series);
+    }
+  } else if (name == "fig10") {
+    const auto fig = fig10_upgrade_cost_cdf(ds);
+    print_ecdf(out, "$/Mbps across markets", fig.upgrade_cost);
+    out << "  r>0.8: " << pct(fig.share_strong_corr)
+        << ", r>0.4: " << pct(fig.share_moderate_corr) << "\n";
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool render_experiment(std::ostream& out, const std::string& name,
+                       const dataset::StudyDataset& ds) {
+  if (name == "tab1") {
+    const auto tab = tab1_upgrade_experiment(ds);
+    print_experiment(out, tab.average);
+    print_experiment(out, tab.peak);
+  } else if (name == "tab2") {
+    const auto tab = tab2_capacity_matching(ds);
+    for (const auto& row : tab.dasu) print_experiment(out, row.result);
+    for (const auto& row : tab.fcc) print_experiment(out, row.result);
+  } else if (name == "tab3") {
+    const auto tab = tab3_price_experiment(ds);
+    print_experiment(out, tab.mid);
+    print_experiment(out, tab.high);
+  } else if (name == "tab5") {
+    // Formats with snprintf (not std::printf) so the row goes to `out`:
+    // a served response must carry the same bytes the CLI prints.
+    for (const auto& row : tab5_region_costs(ds)) {
+      char line[160];
+      std::snprintf(line, sizeof line,
+                    "%-28s n=%zu  >$1 %5.1f%%  >$5 %5.1f%%  >$10 %5.1f%%\n",
+                    market::region_label(row.region).c_str(), row.countries,
+                    row.pct_above_1, row.pct_above_5, row.pct_above_10);
+      out << line;
+    }
+  } else if (name == "tab6") {
+    const auto tab = tab6_upgrade_cost_experiment(ds);
+    print_experiment(out, tab.with_bt_mid);
+    print_experiment(out, tab.with_bt_high);
+    print_experiment(out, tab.no_bt_mid);
+    print_experiment(out, tab.no_bt_high);
+  } else if (name == "tab7") {
+    const auto tab = tab7_latency_experiment(ds);
+    for (const auto& row : tab.rows) print_experiment(out, row.result);
+    print_experiment(out, tab.us_vs_india);
+  } else if (name == "tab8") {
+    for (const auto& row : tab8_loss_experiment(ds)) {
+      print_experiment(out, row.result);
+    }
+  } else {
+    return false;
+  }
+  return true;
+}
+
+double render_scorecard(std::ostream& out, const dataset::StudyDataset& ds,
+                        bool markdown) {
+  const auto card = run_scorecard(ds);
+  if (markdown) {
+    out << card.to_markdown();
+  } else {
+    card.print(out);
+  }
+  return card.pass_rate();
+}
+
+}  // namespace bblab::analysis

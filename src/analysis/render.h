@@ -1,0 +1,46 @@
+// Named query entry points: one function per figure/table the paper
+// reproduction can print, addressable by the short names the CLI has
+// always used ("fig1", "tab5", ...).
+//
+// Before the serve daemon existed, this dispatch lived inline in
+// bblab_cli.cpp; now the CLI and the daemon's query executor share it,
+// which is what makes "a served response is byte-identical to the CLI"
+// a structural guarantee instead of a test-enforced coincidence: both
+// run literally the same rendering code on the same dataset.
+//
+// Render functions write only the analysis text (what the CLI prints to
+// stdout) — no progress chatter, no dataset-generation notes. They take
+// a fully-loaded dataset; how it was obtained (fresh simulation, cache
+// hit, mmapped snapshot view) is the caller's business.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "dataset/generator.h"
+
+namespace bblab::analysis {
+
+/// The figure names render_figure accepts, in presentation order.
+[[nodiscard]] const std::vector<std::string>& figure_names();
+
+/// The experiment/table names render_experiment accepts.
+[[nodiscard]] const std::vector<std::string>& experiment_names();
+
+/// Print figure `name` for `ds`. Returns false (writing nothing) when
+/// the name is unknown.
+bool render_figure(std::ostream& out, const std::string& name,
+                   const dataset::StudyDataset& ds);
+
+/// Print experiment/table `name` for `ds`. Returns false (writing
+/// nothing) when the name is unknown.
+bool render_experiment(std::ostream& out, const std::string& name,
+                       const dataset::StudyDataset& ds);
+
+/// Run every scorecard check and print the card (markdown or plain).
+/// Returns the pass rate in [0, 1] so callers can apply their own gate.
+double render_scorecard(std::ostream& out, const dataset::StudyDataset& ds,
+                        bool markdown);
+
+}  // namespace bblab::analysis

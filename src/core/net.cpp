@@ -1,0 +1,206 @@
+#include "core/net.h"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+
+namespace bblab::core {
+
+namespace {
+
+[[nodiscard]] std::string errno_text(const char* what) {
+  return std::string{what} + ": " + std::strerror(errno);
+}
+
+/// The errno classes a retry (or a per-connection cleanup) can do
+/// something about, as opposed to configuration/path errors.
+[[nodiscard]] bool transient_errno(int err) {
+  return err == EINTR || err == EAGAIN || err == EWOULDBLOCK ||
+         err == ECONNRESET || err == ECONNREFUSED || err == EPIPE ||
+         err == ECONNABORTED || err == EMFILE || err == ENFILE;
+}
+
+[[noreturn]] void throw_errno(const char* what) {
+  if (transient_errno(errno)) throw TransientIoError{errno_text(what)};
+  throw IoError{errno_text(what)};
+}
+
+[[nodiscard]] sockaddr_un unix_addr(const std::filesystem::path& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  const std::string s = path.string();
+  if (s.size() >= sizeof addr.sun_path) {
+    throw InvalidArgument{"unix socket path too long (" +
+                          std::to_string(s.size()) + " bytes): " + s};
+  }
+  std::memcpy(addr.sun_path, s.c_str(), s.size() + 1);
+  return addr;
+}
+
+}  // namespace
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Socket::set_nonblocking(bool on) {
+  require(valid(), "Socket::set_nonblocking: closed socket");
+  const int flags = ::fcntl(fd_, F_GETFL, 0);
+  if (flags < 0) throw_errno("fcntl(F_GETFL)");
+  const int want = on ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (::fcntl(fd_, F_SETFL, want) < 0) throw_errno("fcntl(F_SETFL)");
+}
+
+void Socket::send_all(std::string_view data) {
+  require(valid(), "Socket::send_all: closed socket");
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd_, data.data() + sent, data.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      // Non-blocking socket with a full buffer: wait until writable.
+      pollfd p{fd_, POLLOUT, 0};
+      if (::poll(&p, 1, -1) < 0 && errno != EINTR) throw_errno("poll(POLLOUT)");
+      continue;
+    }
+    throw_errno("send");
+  }
+}
+
+std::optional<std::size_t> Socket::recv_some(void* buf, std::size_t n) {
+  require(valid(), "Socket::recv_some: closed socket");
+  for (;;) {
+    const ssize_t got = ::recv(fd_, buf, n, 0);
+    if (got >= 0) return static_cast<std::size_t>(got);
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return std::nullopt;
+    throw_errno("recv");
+  }
+}
+
+bool Socket::wait_readable(int timeout_ms) {
+  require(valid(), "Socket::wait_readable: closed socket");
+  for (;;) {
+    pollfd p{fd_, POLLIN, 0};
+    const int rc = ::poll(&p, 1, timeout_ms);
+    if (rc > 0) return true;
+    if (rc == 0) return false;
+    if (errno != EINTR) throw_errno("poll(POLLIN)");
+  }
+}
+
+Socket unix_connect(const std::filesystem::path& path) {
+  const sockaddr_un addr = unix_addr(path);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) throw_errno("socket");
+  Socket sock{fd};
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) < 0) {
+    throw_errno(("connect " + path.string()).c_str());
+  }
+  return sock;
+}
+
+UnixListener::UnixListener(UnixListener&& other) noexcept
+    : fd_{other.fd_}, path_{std::move(other.path_)} {
+  other.fd_ = -1;
+  other.path_.clear();
+}
+
+UnixListener& UnixListener::operator=(UnixListener&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    path_ = std::move(other.path_);
+    other.fd_ = -1;
+    other.path_.clear();
+  }
+  return *this;
+}
+
+UnixListener UnixListener::bind(const std::filesystem::path& path, int backlog) {
+  // A leftover socket file from a crashed daemon would make bind() fail
+  // with EADDRINUSE forever. Distinguish stale from live by connecting:
+  // refused (or unreachable) means nobody is accepting, so the file is
+  // safe to unlink; a successful connect means a live daemon owns it.
+  std::error_code ec;
+  if (std::filesystem::is_socket(path, ec) && !ec) {
+    bool live = false;
+    try {
+      (void)unix_connect(path);
+      live = true;
+    } catch (const std::exception&) {
+      // Nobody accepting (refused) or the file vanished: stale either way.
+    }
+    if (live) {
+      throw IoError{"socket " + path.string() +
+                    " already has a live listener (is another bblab serve "
+                    "running?)"};
+    }
+    std::filesystem::remove(path, ec);  // stale: reclaim the path
+  }
+
+  const sockaddr_un addr = unix_addr(path);
+  const int fd =
+      ::socket(AF_UNIX, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) throw_errno("socket");
+  UnixListener listener;
+  listener.fd_ = fd;
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) < 0) {
+    throw_errno(("bind " + path.string()).c_str());
+  }
+  listener.path_ = path;  // from here on, close() owns the unlink
+  if (::listen(fd, backlog) < 0) throw_errno("listen");
+  return listener;
+}
+
+std::optional<Socket> UnixListener::accept() {
+  require(valid(), "UnixListener::accept: closed listener");
+  for (;;) {
+    const int fd = ::accept4(fd_, nullptr, nullptr, SOCK_CLOEXEC);
+    if (fd >= 0) return Socket{fd};
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return std::nullopt;
+    // Per-connection failures (the peer gave up while queued) are not
+    // listener failures; report nothing and let the caller poll again.
+    if (errno == ECONNABORTED) return std::nullopt;
+    throw_errno("accept");
+  }
+}
+
+void UnixListener::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  if (!path_.empty()) {
+    std::error_code ec;
+    std::filesystem::remove(path_, ec);
+    path_.clear();
+  }
+}
+
+}  // namespace bblab::core

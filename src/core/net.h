@@ -1,0 +1,110 @@
+// Unix-domain socket primitives for the query daemon.
+//
+// The serve subsystem needs exactly four things from the OS: a listening
+// local socket, accepted connections, reliable "send all of these bytes"
+// and "is there anything to read" — everything above that (framing,
+// request routing, deadlines) lives in src/serve. This header wraps the
+// POSIX calls behind RAII types with the repo's typed-error taxonomy:
+// transient errno classes (EINTR/EAGAIN/ECONNRESET-style) surface as
+// TransientIoError, permanent ones as IoError, so callers never parse
+// errno strings.
+//
+// Local (AF_UNIX) sockets only, by design: the daemon serves analysts on
+// the same host, authentication is filesystem permissions on the socket
+// path, and nothing here needs to think about byte order on the wire
+// beyond what the serve protocol already fixes as little-endian.
+//
+// SIGPIPE policy: every send uses MSG_NOSIGNAL, so a peer that
+// disconnects mid-response produces an EPIPE error on *that* connection
+// instead of killing the process — a daemon must never die because one
+// client went away.
+#pragma once
+
+#include <cstddef>
+#include <filesystem>
+#include <optional>
+#include <string_view>
+
+#include "core/error.h"
+
+namespace bblab::core {
+
+/// RAII file descriptor wrapper for one stream socket endpoint
+/// (an accepted server connection or a client's connected socket).
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_{fd} {}
+  Socket(Socket&& other) noexcept : fd_{other.fd_} { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+  ~Socket() { close(); }
+
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+  [[nodiscard]] int fd() const { return fd_; }
+
+  /// Close now (idempotent; the destructor calls it).
+  void close() noexcept;
+
+  /// O_NONBLOCK on/off. The server's event loop runs connections
+  /// non-blocking; clients stay blocking.
+  void set_nonblocking(bool on);
+
+  /// Send every byte of `data`, waiting (poll POLLOUT) through partial
+  /// writes and EAGAIN. MSG_NOSIGNAL: a vanished peer throws
+  /// TransientIoError (EPIPE/ECONNRESET are transient *connection*
+  /// failures — the daemon stays up), it never raises SIGPIPE.
+  void send_all(std::string_view data);
+
+  /// Read up to `n` bytes into `buf`. Returns the count read, 0 on
+  /// orderly EOF. On a non-blocking socket with nothing available,
+  /// returns nullopt instead of blocking. EINTR retries internally.
+  [[nodiscard]] std::optional<std::size_t> recv_some(void* buf, std::size_t n);
+
+  /// Block until the socket is readable (or EOF/error is pending).
+  /// timeout_ms < 0 waits forever. Returns false on timeout.
+  [[nodiscard]] bool wait_readable(int timeout_ms);
+
+ private:
+  int fd_{-1};
+};
+
+/// Connect to a listening unix socket. Throws IoError (nonexistent
+/// path, nothing listening) or TransientIoError (ECONNREFUSED while a
+/// backlog is full, EINTR storms).
+[[nodiscard]] Socket unix_connect(const std::filesystem::path& path);
+
+/// A bound, listening unix socket. Binding unlinks a *stale* socket
+/// file (one nothing accepts on) but refuses to displace a live
+/// listener, so two daemons cannot silently fight over one path.
+class UnixListener {
+ public:
+  UnixListener() = default;
+  UnixListener(UnixListener&& other) noexcept;
+  UnixListener& operator=(UnixListener&& other) noexcept;
+  UnixListener(const UnixListener&) = delete;
+  UnixListener& operator=(const UnixListener&) = delete;
+  ~UnixListener() { close(); }
+
+  [[nodiscard]] static UnixListener bind(const std::filesystem::path& path,
+                                         int backlog = 128);
+
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+  [[nodiscard]] int fd() const { return fd_; }
+  [[nodiscard]] const std::filesystem::path& path() const { return path_; }
+
+  /// Accept one pending connection; nullopt if none is pending (the
+  /// listener is non-blocking — poll fd() to wait). Accepted sockets
+  /// are returned in blocking mode.
+  [[nodiscard]] std::optional<Socket> accept();
+
+  /// Close the listening fd and unlink the socket path (idempotent).
+  void close() noexcept;
+
+ private:
+  int fd_{-1};
+  std::filesystem::path path_;
+};
+
+}  // namespace bblab::core

@@ -1,0 +1,65 @@
+#include "core/signal.h"
+
+#include <csignal>
+#include <unistd.h>
+
+#include <atomic>
+
+namespace bblab::core {
+
+namespace {
+
+// sig_atomic_t for the handler side; std::atomic for cross-thread reads
+// from the event loop. Both writes are ordered by the handler running on
+// one thread and the flag being advisory (the loop re-checks under its
+// own synchronization before acting).
+volatile std::sig_atomic_t g_signal_fired = 0;
+std::atomic<bool> g_shutdown{false};
+std::atomic<int> g_wake_fd{-1};
+
+extern "C" void bblab_shutdown_handler(int /*signo*/) {
+  g_signal_fired = 1;
+  g_shutdown.store(true, std::memory_order_relaxed);
+  const int fd = g_wake_fd.load(std::memory_order_relaxed);
+  if (fd >= 0) {
+    const char byte = 1;
+    // write(2) is async-signal-safe; the result is advisory (a full pipe
+    // still wakes the poller, which is all we need).
+    [[maybe_unused]] const ssize_t rc = ::write(fd, &byte, 1);
+  }
+}
+
+}  // namespace
+
+void install_shutdown_signals() {
+  struct sigaction sa{};
+  sa.sa_handler = bblab_shutdown_handler;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;  // no SA_RESTART: let blocking calls return EINTR
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::sigaction(SIGTERM, &sa, nullptr);
+}
+
+void set_shutdown_wake_fd(int fd) {
+  g_wake_fd.store(fd, std::memory_order_relaxed);
+}
+
+bool shutdown_requested() {
+  return g_signal_fired != 0 || g_shutdown.load(std::memory_order_relaxed);
+}
+
+void request_shutdown() {
+  g_shutdown.store(true, std::memory_order_relaxed);
+  const int fd = g_wake_fd.load(std::memory_order_relaxed);
+  if (fd >= 0) {
+    const char byte = 1;
+    [[maybe_unused]] const ssize_t rc = ::write(fd, &byte, 1);
+  }
+}
+
+void reset_shutdown_for_test() {
+  g_signal_fired = 0;
+  g_shutdown.store(false, std::memory_order_relaxed);
+}
+
+}  // namespace bblab::core

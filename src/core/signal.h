@@ -1,0 +1,38 @@
+// Graceful-shutdown signal handling for long-running modes.
+//
+// A daemon (`bblab serve`) must treat SIGINT/SIGTERM as "drain and
+// exit", not "die mid-response". True work cannot run in a signal
+// handler, so the handler here only records the signal in a
+// sig_atomic_t flag (plus an optional self-pipe write to wake a poll
+// loop immediately); the event loop polls shutdown_requested() and
+// performs the orderly drain itself. This mirrors the repo's
+// cooperative-cancellation stance: nothing is ever preempted, hot loops
+// reach a check point and stop cleanly.
+//
+// Installation is idempotent and process-wide. Short-lived CLI modes
+// never call install, so their default SIGINT behavior (immediate
+// death) is unchanged.
+#pragma once
+
+namespace bblab::core {
+
+/// Install SIGINT + SIGTERM handlers that set the shutdown flag.
+/// Idempotent; safe to call from main() only (not async-signal-safe).
+void install_shutdown_signals();
+
+/// Route handler wake-ups to `fd`: on signal delivery one byte is
+/// written to it (async-signal-safe), so a poll loop blocked on the fd
+/// wakes without waiting out its timeout. -1 disconnects.
+void set_shutdown_wake_fd(int fd);
+
+/// True once any installed handler has fired (or request_shutdown ran).
+[[nodiscard]] bool shutdown_requested();
+
+/// Set the flag programmatically — same observable effect as a signal.
+/// Threads may call this; tests and the server's own stop path use it.
+void request_shutdown();
+
+/// Clear the flag (does not uninstall handlers). Test hygiene only.
+void reset_shutdown_for_test();
+
+}  // namespace bblab::core

@@ -1,0 +1,26 @@
+#include "serve/client.h"
+
+namespace bblab::serve {
+
+Client::Client(const std::filesystem::path& socket)
+    : sock_{core::unix_connect(socket)} {}
+
+Response Client::call(const Request& request, int timeout_ms) {
+  sock_.send_all(encode_request(request));
+  FrameAssembler frames{kMaxResponseBytes};
+  char buf[65536];
+  for (;;) {
+    if (auto payload = frames.next()) return decode_response(*payload);
+    if (timeout_ms >= 0 && !sock_.wait_readable(timeout_ms)) {
+      throw IoError{"query timed out waiting for response"};
+    }
+    const auto n = sock_.recv_some(buf, sizeof buf);
+    if (!n) continue;  // spurious wakeup on a blocking socket
+    if (*n == 0) {
+      throw TransientIoError{"daemon closed the connection mid-response"};
+    }
+    frames.feed(buf, *n);
+  }
+}
+
+}  // namespace bblab::serve

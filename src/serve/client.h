@@ -1,0 +1,34 @@
+// Blocking client for the bblab query daemon.
+//
+// One connection, one request at a time: call() frames the request,
+// sends it, and blocks until the full response frame arrives (or
+// `timeout_ms` passes without any bytes). `bblab query`, the soak test
+// and the load bench all sit on this class; parallel load is N Client
+// instances on N connections.
+#pragma once
+
+#include <filesystem>
+
+#include "core/net.h"
+#include "serve/protocol.h"
+
+namespace bblab::serve {
+
+class Client {
+ public:
+  /// Connect to the daemon at `socket`. Throws IoError when nothing
+  /// is listening there.
+  explicit Client(const std::filesystem::path& socket);
+
+  /// One round-trip. Throws TransientIoError when the daemon hangs up
+  /// mid-response, IoError when `timeout_ms` (>= 0) elapses with the
+  /// response still incomplete, ProtocolError on an unparseable reply.
+  [[nodiscard]] Response call(const Request& request, int timeout_ms = -1);
+
+  [[nodiscard]] Response ping() { return call({RequestKind::kPing, "", ""}); }
+
+ private:
+  core::Socket sock_;
+};
+
+}  // namespace bblab::serve

@@ -1,0 +1,132 @@
+#include "serve/dataset_lru.h"
+
+#include <utility>
+
+#include "market/country.h"
+#include "obs/metrics.h"
+#include "store/bbs.h"
+
+namespace bblab::serve {
+
+namespace {
+
+obs::Counter& hits_counter() {
+  static obs::Counter& c = obs::Registry::instance().counter("serve.lru_hits");
+  return c;
+}
+obs::Counter& misses_counter() {
+  static obs::Counter& c = obs::Registry::instance().counter("serve.lru_misses");
+  return c;
+}
+obs::Counter& evictions_counter() {
+  static obs::Counter& c =
+      obs::Registry::instance().counter("serve.lru_evictions");
+  return c;
+}
+obs::Gauge& open_bytes_gauge() {
+  static obs::Gauge& g = obs::Registry::instance().gauge("serve.open_bytes");
+  return g;
+}
+
+}  // namespace
+
+DatasetLru::DatasetLru(std::uint64_t max_bytes) : max_bytes_{max_bytes} {}
+
+store::Fingerprint DatasetLru::fingerprint_of(
+    const std::filesystem::path& path) {
+  const auto size = std::filesystem::file_size(path);
+  const auto mtime = std::filesystem::last_write_time(path);
+  const std::string key = path.string();
+  {
+    const std::lock_guard<std::mutex> lock{mutex_};
+    const auto it = path_memo_.find(key);
+    if (it != path_memo_.end() && it->second.size == size &&
+        it->second.mtime == mtime) {
+      return it->second.key;
+    }
+  }
+  // Config-only decode: verifies framing + the config section checksum,
+  // touches a few hundred bytes of a potentially huge file.
+  const auto view = store::SnapshotView::open(path);
+  const auto config = view.config();
+  const auto fp = store::dataset_fingerprint(config, market::World::builtin());
+  const std::lock_guard<std::mutex> lock{mutex_};
+  path_memo_[key] = PathMemo{size, mtime, fp};
+  return fp;
+}
+
+void DatasetLru::evict_to_fit_locked(std::uint64_t incoming_bytes) {
+  while (!entries_.empty() && open_bytes_ + incoming_bytes > max_bytes_) {
+    auto victim = entries_.begin();
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (it->second.last_used < victim->second.last_used) victim = it;
+    }
+    open_bytes_ -= victim->second.bytes;
+    entries_.erase(victim);
+    ++evictions_;
+    evictions_counter().add();
+  }
+  open_bytes_gauge().set(static_cast<double>(open_bytes_));
+}
+
+std::shared_ptr<const dataset::StudyDataset> DatasetLru::get(
+    const std::filesystem::path& path) {
+  const auto key = fingerprint_of(path);
+  const auto bytes = static_cast<std::uint64_t>(std::filesystem::file_size(path));
+
+  std::shared_future<DatasetPtr> future;
+  bool loader = false;
+  std::promise<DatasetPtr> promise;
+  {
+    const std::lock_guard<std::mutex> lock{mutex_};
+    const auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      it->second.last_used = ++tick_;
+      ++hits_;
+      hits_counter().add();
+      future = it->second.future;
+    } else {
+      ++misses_;
+      misses_counter().add();
+      future = promise.get_future().share();
+      if (max_bytes_ > 0) {
+        evict_to_fit_locked(bytes);
+        entries_[key] = Entry{future, bytes, ++tick_};
+        open_bytes_ += bytes;
+        open_bytes_gauge().set(static_cast<double>(open_bytes_));
+      }
+      loader = true;
+    }
+  }
+
+  if (loader) {
+    try {
+      const auto view = store::SnapshotView::open(path);
+      promise.set_value(
+          std::make_shared<const dataset::StudyDataset>(view.dataset()));
+    } catch (...) {
+      // Every waiter of this load sees the same typed error, and the
+      // slot is removed so the next request retries the file fresh —
+      // a corrupt snapshot is never cached.
+      promise.set_exception(std::current_exception());
+      const std::lock_guard<std::mutex> lock{mutex_};
+      const auto it = entries_.find(key);
+      if (it != entries_.end() && it->second.bytes == bytes) {
+        open_bytes_ -= it->second.bytes;
+        entries_.erase(it);
+        open_bytes_gauge().set(static_cast<double>(open_bytes_));
+      }
+      // The memo may name a file that was replaced mid-load; drop it too.
+      path_memo_.erase(path.string());
+    }
+  }
+
+  return future.get();  // rethrows the loader's exception for all waiters
+}
+
+DatasetLru::Stats DatasetLru::stats() const {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  return Stats{hits_, misses_, evictions_, open_bytes_, entries_.size()};
+}
+
+}  // namespace bblab::serve

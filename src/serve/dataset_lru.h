@@ -1,0 +1,100 @@
+// Hot cache of open datasets for the query daemon.
+//
+// Decoding a multi-hundred-MB snapshot per query would cap throughput at
+// a few queries per second; the daemon instead keeps decoded datasets
+// hot, keyed by the 128-bit dataset fingerprint (store::Fingerprint) —
+// the same content address the artifact cache uses — so two snapshot
+// *files* of the same simulation share one in-memory dataset.
+//
+// Semantics:
+//   - Bounded: total charged bytes (snapshot file size, a faithful proxy
+//     for decoded footprint) never exceed max_bytes; least-recently-used
+//     entries are evicted first. Entries are handed out as
+//     shared_ptr<const StudyDataset>, so eviction never invalidates a
+//     dataset an in-flight query is reading — it just drops the cache's
+//     reference.
+//   - Single-flight: concurrent requests for the same fingerprint share
+//     one decode (a shared_future); a thundering herd of N clients costs
+//     one decode, not N.
+//   - Corruption-safe: a snapshot that fails checksum/framing
+//     verification propagates its typed SnapshotError to every waiter of
+//     that load, and the entry is removed — the LRU never caches a
+//     failure, and the next request retries the file fresh.
+//   - Fingerprinting is cheap: only the config section is decoded (a few
+//     hundred bytes via SnapshotView) to compute the key; the full
+//     decode happens once per resident entry.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "dataset/generator.h"
+#include "store/fingerprint.h"
+
+namespace bblab::serve {
+
+class DatasetLru {
+ public:
+  /// `max_bytes` bounds the sum of charged entry sizes; 0 disables
+  /// caching entirely (every get() decodes fresh).
+  explicit DatasetLru(std::uint64_t max_bytes);
+
+  DatasetLru(const DatasetLru&) = delete;
+  DatasetLru& operator=(const DatasetLru&) = delete;
+
+  /// Dataset for the snapshot at `path` — cached, or decoded now.
+  /// Blocks until the dataset is ready (or the decode fails). Throws
+  /// store::SnapshotError for corrupt snapshots, IoError for
+  /// unopenable paths. Thread-safe.
+  [[nodiscard]] std::shared_ptr<const dataset::StudyDataset> get(
+      const std::filesystem::path& path);
+
+  struct Stats {
+    std::uint64_t hits{0};
+    std::uint64_t misses{0};
+    std::uint64_t evictions{0};
+    std::uint64_t open_bytes{0};
+    std::size_t entries{0};
+  };
+  [[nodiscard]] Stats stats() const;
+
+  [[nodiscard]] std::uint64_t max_bytes() const { return max_bytes_; }
+
+ private:
+  using DatasetPtr = std::shared_ptr<const dataset::StudyDataset>;
+
+  struct Entry {
+    std::shared_future<DatasetPtr> future;
+    std::uint64_t bytes{0};
+    std::uint64_t last_used{0};
+  };
+
+  /// Fingerprint of the snapshot at `path`, memoized by (size, mtime) so
+  /// repeat queries skip even the config decode.
+  [[nodiscard]] store::Fingerprint fingerprint_of(
+      const std::filesystem::path& path);
+
+  void evict_to_fit_locked(std::uint64_t incoming_bytes);
+
+  struct PathMemo {
+    std::uintmax_t size{0};
+    std::filesystem::file_time_type mtime{};
+    store::Fingerprint key;
+  };
+
+  const std::uint64_t max_bytes_;
+  mutable std::mutex mutex_;
+  std::map<store::Fingerprint, Entry> entries_;
+  std::map<std::string, PathMemo> path_memo_;
+  std::uint64_t open_bytes_{0};
+  std::uint64_t tick_{0};
+  std::uint64_t hits_{0};
+  std::uint64_t misses_{0};
+  std::uint64_t evictions_{0};
+};
+
+}  // namespace bblab::serve

@@ -1,0 +1,161 @@
+#include "serve/protocol.h"
+
+#include <cstring>
+
+namespace bblab::serve {
+
+namespace {
+
+void put_u32(std::string& out, std::uint32_t v) {
+  out.push_back(static_cast<char>(v & 0xff));
+  out.push_back(static_cast<char>((v >> 8) & 0xff));
+  out.push_back(static_cast<char>((v >> 16) & 0xff));
+  out.push_back(static_cast<char>((v >> 24) & 0xff));
+}
+
+void put_str(std::string& out, std::string_view s) {
+  put_u32(out, static_cast<std::uint32_t>(s.size()));
+  out.append(s);
+}
+
+/// Cursor over a payload; every read is bounds-checked so truncated
+/// frames surface as ProtocolError, never as a wild read.
+class Reader {
+ public:
+  explicit Reader(std::string_view data) : data_{data} {}
+
+  [[nodiscard]] std::uint32_t u32() {
+    if (data_.size() - pos_ < 4) throw ProtocolError{"truncated payload"};
+    std::uint32_t v = 0;
+    std::memcpy(&v, data_.data() + pos_, 4);  // encoding is little-endian...
+    pos_ += 4;
+    // ...so reassemble explicitly instead of trusting host order.
+    const auto* b = reinterpret_cast<const unsigned char*>(&v);
+    return static_cast<std::uint32_t>(b[0]) |
+           (static_cast<std::uint32_t>(b[1]) << 8) |
+           (static_cast<std::uint32_t>(b[2]) << 16) |
+           (static_cast<std::uint32_t>(b[3]) << 24);
+  }
+
+  [[nodiscard]] std::uint8_t u8() {
+    if (data_.size() - pos_ < 1) throw ProtocolError{"truncated payload"};
+    return static_cast<std::uint8_t>(data_[pos_++]);
+  }
+
+  [[nodiscard]] std::string str() {
+    const std::uint32_t n = u32();
+    if (data_.size() - pos_ < n) throw ProtocolError{"truncated string"};
+    std::string s{data_.substr(pos_, n)};
+    pos_ += n;
+    return s;
+  }
+
+  [[nodiscard]] bool done() const { return pos_ == data_.size(); }
+
+ private:
+  std::string_view data_;
+  std::size_t pos_{0};
+};
+
+std::string frame(std::string payload) {
+  std::string out;
+  out.reserve(payload.size() + 4);
+  put_u32(out, static_cast<std::uint32_t>(payload.size()));
+  out += payload;
+  return out;
+}
+
+}  // namespace
+
+const char* status_label(Status status) {
+  switch (status) {
+    case Status::kOk: return "ok";
+    case Status::kError: return "error";
+    case Status::kDeadlineExceeded: return "deadline-exceeded";
+    case Status::kBadRequest: return "bad-request";
+    case Status::kNotFound: return "not-found";
+    case Status::kCorruptSnapshot: return "corrupt-snapshot";
+    case Status::kShuttingDown: return "shutting-down";
+  }
+  return "unknown";
+}
+
+std::string encode_request(const Request& request) {
+  std::string payload;
+  put_u32(payload, kRequestMagic);
+  put_u32(payload, kProtocolVersion);
+  payload.push_back(static_cast<char>(request.kind));
+  put_str(payload, request.name);
+  put_str(payload, request.snapshot);
+  return frame(std::move(payload));
+}
+
+std::string encode_response(const Response& response) {
+  std::string payload;
+  put_u32(payload, kResponseMagic);
+  payload.push_back(static_cast<char>(response.status));
+  put_str(payload, response.body);
+  return frame(std::move(payload));
+}
+
+Request decode_request(std::string_view payload) {
+  Reader r{payload};
+  if (r.u32() != kRequestMagic) throw ProtocolError{"bad request magic"};
+  if (const auto v = r.u32(); v != kProtocolVersion) {
+    throw ProtocolError{"unsupported protocol version " + std::to_string(v)};
+  }
+  Request request;
+  const auto kind = r.u8();
+  if (kind > static_cast<std::uint8_t>(RequestKind::kInfo)) {
+    throw ProtocolError{"unknown request kind " + std::to_string(kind)};
+  }
+  request.kind = static_cast<RequestKind>(kind);
+  request.name = r.str();
+  request.snapshot = r.str();
+  if (!r.done()) throw ProtocolError{"trailing bytes after request"};
+  return request;
+}
+
+Response decode_response(std::string_view payload) {
+  Reader r{payload};
+  if (r.u32() != kResponseMagic) throw ProtocolError{"bad response magic"};
+  Response response;
+  const auto status = r.u8();
+  if (status > static_cast<std::uint8_t>(Status::kShuttingDown)) {
+    throw ProtocolError{"unknown status " + std::to_string(status)};
+  }
+  response.status = static_cast<Status>(status);
+  response.body = r.str();
+  if (!r.done()) throw ProtocolError{"trailing bytes after response"};
+  return response;
+}
+
+void FrameAssembler::feed(const char* data, std::size_t n) {
+  buffer_.append(data, n);
+  while (buffer_.size() >= 4) {
+    const auto* b = reinterpret_cast<const unsigned char*>(buffer_.data());
+    const std::uint32_t len = static_cast<std::uint32_t>(b[0]) |
+                              (static_cast<std::uint32_t>(b[1]) << 8) |
+                              (static_cast<std::uint32_t>(b[2]) << 16) |
+                              (static_cast<std::uint32_t>(b[3]) << 24);
+    // Checked against the declared length, not bytes received: an
+    // oversized frame is rejected before its payload is buffered.
+    if (len > max_payload_) {
+      throw ProtocolError{"frame of " + std::to_string(len) +
+                          " bytes exceeds limit of " +
+                          std::to_string(max_payload_)};
+    }
+    if (buffer_.size() - 4 < len) break;
+    complete_.emplace_back(buffer_.substr(4, len));
+    buffer_.erase(0, 4 + static_cast<std::size_t>(len));
+  }
+}
+
+std::optional<std::string> FrameAssembler::next() {
+  if (complete_.empty()) return std::nullopt;
+  std::string payload = std::move(complete_.front());
+  complete_.pop_front();
+  return payload;
+}
+
+}  // namespace bblab::serve

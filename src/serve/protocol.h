@@ -1,0 +1,122 @@
+// Wire protocol for the bblab query daemon.
+//
+// Framing: every message is a u32 little-endian payload length followed
+// by exactly that many payload bytes. Length prefixes make message
+// boundaries explicit on a stream socket, so a reader never scans for
+// delimiters and a slow or malicious client can be bounded up front:
+// request frames larger than kMaxRequestBytes and response frames
+// larger than kMaxResponseBytes are rejected before any allocation of
+// that size happens.
+//
+// Request payload (all integers little-endian):
+//   u32  magic   kRequestMagic ("QRBB")
+//   u32  version kProtocolVersion
+//   u8   kind    RequestKind
+//   str  name    u32 length + bytes (figure/experiment name; "markdown"
+//                flag for scorecard; empty for ping/info)
+//   str  snapshot u32 length + bytes (path of the .bbs file to query)
+//
+// Response payload:
+//   u32  magic   kResponseMagic ("PRBB")
+//   u8   status  Status
+//   str  body    u32 length + bytes (rendered text on kOk, human-readable
+//                error message otherwise)
+//
+// Malformed payloads (bad magic, unknown version/kind/status, truncated
+// or over-long fields) throw ProtocolError — the server answers
+// kBadRequest and drops the connection, it never crashes or guesses.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "core/error.h"
+
+namespace bblab::serve {
+
+inline constexpr std::uint32_t kProtocolVersion = 1;
+inline constexpr std::uint32_t kRequestMagic = 0x42425251;   // "QRBB" LE
+inline constexpr std::uint32_t kResponseMagic = 0x42425250;  // "PRBB" LE
+
+/// Requests are tiny (a name and a path); anything bigger is garbage or
+/// an attack, and rejecting early keeps a bad client from ballooning
+/// server memory.
+inline constexpr std::size_t kMaxRequestBytes = 1u << 20;  // 1 MiB
+/// Responses carry rendered tables/figures; 64 MiB is orders of
+/// magnitude above any real rendering.
+inline constexpr std::size_t kMaxResponseBytes = 64u << 20;
+
+/// Payload that is not a well-formed protocol message.
+class ProtocolError : public IoError {
+ public:
+  using IoError::IoError;
+};
+
+enum class RequestKind : std::uint8_t {
+  kPing = 0,        ///< liveness check; body "pong"
+  kFigure = 1,      ///< render one figure by name
+  kExperiment = 2,  ///< render one experiment/table by name
+  kScorecard = 3,   ///< run every paper-claim check
+  kInfo = 4,        ///< daemon status: names served, LRU stats
+};
+
+enum class Status : std::uint8_t {
+  kOk = 0,
+  kError = 1,             ///< internal failure executing a valid request
+  kDeadlineExceeded = 2,  ///< query overran the per-query deadline
+  kBadRequest = 3,        ///< malformed frame or unknown kind
+  kNotFound = 4,          ///< unknown figure/experiment name or snapshot path
+  kCorruptSnapshot = 5,   ///< snapshot failed framing/checksum verification
+  kShuttingDown = 6,      ///< daemon is draining; retry elsewhere/later
+};
+
+[[nodiscard]] const char* status_label(Status status);
+
+struct Request {
+  RequestKind kind{RequestKind::kPing};
+  std::string name;      ///< figure/experiment name; "markdown" for scorecard
+  std::string snapshot;  ///< path of the .bbs snapshot to query
+};
+
+struct Response {
+  Status status{Status::kOk};
+  std::string body;
+};
+
+/// Encode as a complete frame (length prefix included).
+[[nodiscard]] std::string encode_request(const Request& request);
+[[nodiscard]] std::string encode_response(const Response& response);
+
+/// Decode a frame's payload (length prefix already stripped).
+/// Throws ProtocolError on anything malformed.
+[[nodiscard]] Request decode_request(std::string_view payload);
+[[nodiscard]] Response decode_response(std::string_view payload);
+
+/// Incremental frame assembly for a non-blocking connection: feed()
+/// whatever bytes arrived, then pop complete payloads with next().
+/// A declared length above `max_payload` throws ProtocolError
+/// immediately — before buffering the payload — so an oversized or
+/// garbage length prefix cannot make the server allocate it.
+class FrameAssembler {
+ public:
+  explicit FrameAssembler(std::size_t max_payload)
+      : max_payload_{max_payload} {}
+
+  void feed(const char* data, std::size_t n);
+
+  /// Next complete payload, if one is buffered.
+  [[nodiscard]] std::optional<std::string> next();
+
+  /// Bytes buffered but not yet returned (partial frame).
+  [[nodiscard]] std::size_t pending_bytes() const { return buffer_.size(); }
+
+ private:
+  std::size_t max_payload_;
+  std::string buffer_;
+  std::deque<std::string> complete_;
+};
+
+}  // namespace bblab::serve

@@ -1,0 +1,23 @@
+// Request execution for the query daemon.
+//
+// One function: take a decoded Request, a dataset LRU and a per-query
+// Deadline, produce a Response. All failure modes are *values* (typed
+// Status codes), never exceptions — the server submits execute() to pool
+// workers, and a worker must always come back with something to send.
+// Deadlines are polled cooperatively at stage boundaries (before the
+// load, after the load, after rendering); an expired deadline yields
+// kDeadlineExceeded for that query and nothing else — the daemon and
+// every other in-flight query are untouched.
+#pragma once
+
+#include "core/watchdog.h"
+#include "serve/dataset_lru.h"
+#include "serve/protocol.h"
+
+namespace bblab::serve {
+
+/// Execute one request. Never throws.
+[[nodiscard]] Response execute(const Request& request, DatasetLru& lru,
+                               const core::Deadline& deadline);
+
+}  // namespace bblab::serve

@@ -1,0 +1,110 @@
+// The bblab query daemon.
+//
+// Concurrency model — one event-loop thread plus a query pool:
+//
+//   - The event loop (the thread that calls run()) owns every connection:
+//     it accepts, does all the non-blocking reads, assembles frames, and
+//     is the only thread that creates or destroys Conn objects.
+//   - A complete request frame is handed to the core::ThreadPool as one
+//     task: decode, execute against the dataset LRU, encode, send. The
+//     worker has *exclusive* use of the connection while its request is
+//     in flight (the loop marks it busy and stops polling it), so socket
+//     writes need no locking; when done, the worker posts the connection
+//     id to a completion queue and wakes the loop through a self-pipe,
+//     and the loop resumes polling that connection.
+//   - One request in flight per connection. Clients that want
+//     parallelism open several connections — which is exactly what the
+//     soak test and bench do.
+//
+// Failure containment is the design's spine: a malformed frame gets a
+// kBadRequest response and that connection closed; an oversized length
+// prefix is rejected before its payload is buffered; a client that
+// disconnects mid-query costs exactly one wasted render (the send fails
+// with a transient error, counted in serve.disconnects); a query that
+// overruns the per-query deadline returns kDeadlineExceeded. None of
+// these touch the daemon or any other connection.
+//
+// Shutdown (SIGINT/SIGTERM or stop()) is a drain, not an abort: stop
+// accepting, answer already-buffered requests with kShuttingDown, let
+// in-flight queries finish and flush their responses, then close
+// everything and unlink the socket. run() then returns normally.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/net.h"
+#include "core/thread_pool.h"
+#include "serve/dataset_lru.h"
+
+namespace bblab::serve {
+
+struct ServerOptions {
+  std::filesystem::path socket;   ///< unix socket path to listen on
+  std::size_t threads{0};         ///< query pool workers; 0 = hardware
+  std::uint64_t max_open_bytes{2ull << 30};  ///< dataset LRU budget
+  double deadline_s{0.0};         ///< per-query deadline; <= 0 = infinite
+  bool install_signals{true};     ///< SIGINT/SIGTERM -> graceful drain
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Bind, then serve until shutdown is requested; drains and cleans up
+  /// before returning. Call from one thread only.
+  void run();
+
+  /// Request a graceful drain (thread-safe; also triggered by signals
+  /// when install_signals is set).
+  void stop();
+
+  /// Bind the listener without serving — split out so tests can know
+  /// the socket exists before spawning clients. run() calls it if
+  /// needed.
+  void bind();
+
+  [[nodiscard]] const std::filesystem::path& socket_path() const {
+    return options_.socket;
+  }
+  [[nodiscard]] std::uint64_t requests_served() const;
+  [[nodiscard]] DatasetLru& lru() { return lru_; }
+
+ private:
+  struct Conn;
+
+  void event_loop();
+  void accept_pending();
+  void read_ready(Conn& conn);
+  /// Hand the next buffered frame (if any) to the pool.
+  void dispatch(Conn& conn);
+  void process_completions();
+  void drain_and_close();
+  void close_conn(std::uint64_t id);
+
+  ServerOptions options_;
+  DatasetLru lru_;
+  core::ThreadPool pool_;
+  core::UnixListener listener_;
+
+  std::vector<std::unique_ptr<Conn>> conns_;
+  std::uint64_t next_conn_id_{1};
+
+  int wake_read_fd_{-1};
+  int wake_write_fd_{-1};
+
+  std::mutex done_mutex_;
+  std::vector<std::uint64_t> done_;  ///< conn ids with a finished request
+
+  std::uint64_t served_{0};
+  mutable std::mutex served_mutex_;
+};
+
+}  // namespace bblab::serve

@@ -478,28 +478,64 @@ void append_u64(std::string& out, std::uint64_t v) {
   append_u32(out, static_cast<std::uint32_t>(v >> 32));
 }
 
-/// Read `size` bytes at `offset`; any stream failure is framing damage.
-std::string read_at(std::istream& in, std::uint64_t offset, std::uint64_t size) {
-  in.clear();
-  in.seekg(static_cast<std::streamoff>(offset), std::ios::beg);
-  std::string buf(size, '\0');
-  in.read(buf.data(), static_cast<std::streamsize>(size));
-  if (!in || static_cast<std::uint64_t>(in.gcount()) != size) {
-    throw SnapshotError{QuarantineReason::kFormatMismatch,
-                        "short read at offset " + std::to_string(offset)};
-  }
-  return buf;
-}
+// Byte sources the index/section readers are generic over: a seekable
+// stream (read_snapshot) or a memory mapping (SnapshotView). Both
+// return views valid until the next read_at call — the stream source
+// reuses one buffer, the view source slices the mapping (zero-copy).
 
-std::uint64_t stream_size(std::istream& in) {
-  in.clear();
-  in.seekg(0, std::ios::end);
-  const auto end = in.tellg();
-  if (end < 0) {
-    throw SnapshotError{QuarantineReason::kFormatMismatch, "unseekable stream"};
+/// Seekable-stream source; read_at copies into a reused buffer.
+class StreamSource {
+ public:
+  explicit StreamSource(std::istream& in) : in_{in} {}
+
+  [[nodiscard]] std::uint64_t size() {
+    in_.clear();
+    in_.seekg(0, std::ios::end);
+    const auto end = in_.tellg();
+    if (end < 0) {
+      throw SnapshotError{QuarantineReason::kFormatMismatch, "unseekable stream"};
+    }
+    return static_cast<std::uint64_t>(end);
   }
-  return static_cast<std::uint64_t>(end);
-}
+
+  /// Read `size` bytes at `offset`; any stream failure is framing damage.
+  [[nodiscard]] std::string_view read_at(std::uint64_t offset,
+                                         std::uint64_t size) {
+    in_.clear();
+    in_.seekg(static_cast<std::streamoff>(offset), std::ios::beg);
+    buf_.assign(size, '\0');
+    in_.read(buf_.data(), static_cast<std::streamsize>(size));
+    if (!in_ || static_cast<std::uint64_t>(in_.gcount()) != size) {
+      throw SnapshotError{QuarantineReason::kFormatMismatch,
+                          "short read at offset " + std::to_string(offset)};
+    }
+    return buf_;
+  }
+
+ private:
+  std::istream& in_;
+  std::string buf_;
+};
+
+/// Mapped-bytes source; read_at is a bounds-checked slice.
+class ViewSource {
+ public:
+  explicit ViewSource(std::string_view file) : file_{file} {}
+
+  [[nodiscard]] std::uint64_t size() const { return file_.size(); }
+
+  [[nodiscard]] std::string_view read_at(std::uint64_t offset,
+                                         std::uint64_t size) const {
+    if (offset > file_.size() || size > file_.size() - offset) {
+      throw SnapshotError{QuarantineReason::kFormatMismatch,
+                          "short read at offset " + std::to_string(offset)};
+    }
+    return file_.substr(offset, size);
+  }
+
+ private:
+  std::string_view file_;
+};
 
 void check_header(const std::string& header) {
   if (header.size() != kHeaderSize ||
@@ -521,16 +557,17 @@ void check_header(const std::string& header) {
   }
 }
 
-SnapshotInfo read_index(std::istream& in) {
-  const std::uint64_t file_size = stream_size(in);
+template <typename Source>
+SnapshotInfo read_index(Source& src) {
+  const std::uint64_t file_size = src.size();
   if (file_size < kHeaderSize + kTrailerSize) {
     throw SnapshotError{QuarantineReason::kFormatMismatch,
                         "file too small to be a .bbs snapshot (" +
                             std::to_string(file_size) + " bytes)"};
   }
-  check_header(read_at(in, 0, kHeaderSize));
+  check_header(std::string{src.read_at(0, kHeaderSize)});
 
-  const std::string trailer = read_at(in, file_size - kTrailerSize, kTrailerSize);
+  const std::string trailer{src.read_at(file_size - kTrailerSize, kTrailerSize)};
   if (std::memcmp(trailer.data() + 16, kFooterMagic, sizeof kFooterMagic) != 0) {
     throw SnapshotError{QuarantineReason::kFormatMismatch,
                         "footer magic missing (truncated or overwritten file)"};
@@ -544,7 +581,7 @@ SnapshotInfo read_index(std::istream& in) {
                             " exceeds file size"};
   }
   const std::uint64_t footer_offset = file_size - kTrailerSize - footer_size;
-  const std::string footer = read_at(in, footer_offset, footer_size);
+  const std::string footer{src.read_at(footer_offset, footer_size)};
   if (core::hash_bytes(footer.data(), footer.size(), kChecksumSeed) !=
       footer_checksum) {
     throw SnapshotError{QuarantineReason::kChecksumMismatch,
@@ -574,12 +611,16 @@ SnapshotInfo read_index(std::istream& in) {
   return info;
 }
 
-/// Locate, read and checksum-verify one section payload.
-std::string load_section(std::istream& in, const SnapshotInfo& info,
-                         const std::string& name) {
+/// Locate, read and checksum-verify one section payload. The returned
+/// view is valid until the source's next read_at (forever for a
+/// ViewSource). Verification happens *before* the view escapes: corrupt
+/// bytes are never visible through the return value.
+template <typename Source>
+std::string_view load_section(Source& src, const SnapshotInfo& info,
+                              const std::string& name) {
   for (const auto& s : info.sections) {
     if (s.name != name) continue;
-    std::string payload = read_at(in, s.offset, s.size);
+    const std::string_view payload = src.read_at(s.offset, s.size);
     if (core::hash_bytes(payload.data(), payload.size(), kChecksumSeed) !=
         s.checksum) {
       throw SnapshotError{QuarantineReason::kChecksumMismatch,
@@ -709,45 +750,40 @@ auto guard_decode(const char* what, Fn&& fn) -> decltype(fn()) {
   }
 }
 
-dataset::StudyDataset read_snapshot_impl(std::istream& in,
-                                         const market::World& world) {
-  const SnapshotInfo info = read_index(in);
+/// Decode a full dataset through any byte source. One section payload
+/// is live at a time; each decoder streams its columns directly into
+/// the destination vectors (and a ViewSource never buffers at all).
+template <typename Source>
+dataset::StudyDataset decode_dataset(Source& src, const SnapshotInfo& info,
+                                     const market::World& world) {
   dataset::StudyDataset ds;
-  // One section buffer lives at a time; each decoder streams its columns
-  // directly into the destination vectors.
   {
-    const std::string payload = load_section(in, info, "config");
-    ByteReader r{payload, "config"};
+    ByteReader r{load_section(src, info, "config"), "config"};
     ds.config = decode_config(r);
     r.expect_exhausted();
   }
   {
-    const std::string payload = load_section(in, info, "dasu");
-    ByteReader r{payload, "dasu"};
+    ByteReader r{load_section(src, info, "dasu"), "dasu"};
     ds.dasu = decode_user_records(r);
     r.expect_exhausted();
   }
   {
-    const std::string payload = load_section(in, info, "fcc");
-    ByteReader r{payload, "fcc"};
+    ByteReader r{load_section(src, info, "fcc"), "fcc"};
     ds.fcc = decode_user_records(r);
     r.expect_exhausted();
   }
   {
-    const std::string payload = load_section(in, info, "upgrades");
-    ByteReader r{payload, "upgrades"};
+    ByteReader r{load_section(src, info, "upgrades"), "upgrades"};
     ds.upgrades = decode_upgrades(r);
     r.expect_exhausted();
   }
   {
-    const std::string payload = load_section(in, info, "markets");
-    ByteReader r{payload, "markets"};
+    ByteReader r{load_section(src, info, "markets"), "markets"};
     ds.markets = decode_markets(r, world);
     r.expect_exhausted();
   }
   {
-    const std::string payload = load_section(in, info, "qc");
-    ByteReader r{payload, "qc"};
+    ByteReader r{load_section(src, info, "qc"), "qc"};
     ds.qc = decode_qc(r);
     r.expect_exhausted();
   }
@@ -757,19 +793,67 @@ dataset::StudyDataset read_snapshot_impl(std::istream& in,
 }  // namespace
 
 dataset::StudyDataset read_snapshot(std::istream& in, const market::World& world) {
-  return guard_decode("read_snapshot",
-                      [&] { return read_snapshot_impl(in, world); });
+  return guard_decode("read_snapshot", [&] {
+    StreamSource src{in};
+    const SnapshotInfo info = read_index(src);
+    return decode_dataset(src, info, world);
+  });
 }
 
 dataset::StudyDataset read_snapshot_file(const std::filesystem::path& path,
                                          const market::World& world) {
+  // Prefer the zero-copy mmap reader; fall back to streaming for files
+  // that exist but cannot be mapped (pipes, exotic filesystems). A
+  // missing/unopenable file throws IoError from try_open, matching the
+  // historical contract.
+  if (auto mapped = MappedFile::try_open(path)) {
+    SnapshotView view{std::move(*mapped)};
+    return view.dataset(world);
+  }
   std::ifstream in{path, std::ios::binary};
   if (!in) throw IoError{"read_snapshot_file: cannot open " + path.string()};
   return read_snapshot(in, world);
 }
 
 SnapshotInfo inspect_snapshot(std::istream& in) {
-  return guard_decode("inspect_snapshot", [&] { return read_index(in); });
+  return guard_decode("inspect_snapshot", [&] {
+    StreamSource src{in};
+    return read_index(src);
+  });
+}
+
+SnapshotView SnapshotView::open(const std::filesystem::path& path) {
+  return SnapshotView{MappedFile::open(path)};
+}
+
+SnapshotView::SnapshotView(MappedFile file) : file_{std::move(file)} {
+  info_ = guard_decode("SnapshotView", [&] {
+    ViewSource src{file_.view()};
+    return read_index(src);
+  });
+}
+
+std::string_view SnapshotView::section(const std::string& name) const {
+  return guard_decode("SnapshotView::section", [&] {
+    ViewSource src{file_.view()};
+    return load_section(src, info_, name);
+  });
+}
+
+dataset::StudyConfig SnapshotView::config() const {
+  return guard_decode("SnapshotView::config", [&] {
+    ByteReader r{section("config"), "config"};
+    auto config = decode_config(r);
+    r.expect_exhausted();
+    return config;
+  });
+}
+
+dataset::StudyDataset SnapshotView::dataset(const market::World& world) const {
+  return guard_decode("SnapshotView::dataset", [&] {
+    ViewSource src{file_.view()};
+    return decode_dataset(src, info_, world);
+  });
 }
 
 namespace {

@@ -37,6 +37,7 @@
 #include "core/error.h"
 #include "core/fs.h"
 #include "dataset/generator.h"
+#include "store/mmap.h"
 
 namespace bblab::store {
 
@@ -102,6 +103,56 @@ struct SnapshotInfo {
 /// Read only the header + footer index (O(1) in file size). Verifies
 /// framing and the footer checksum but not section payloads.
 [[nodiscard]] SnapshotInfo inspect_snapshot(std::istream& in);
+
+/// Zero-copy snapshot reader over a memory-mapped `.bbs` file.
+///
+/// Opening verifies the framing (header magic/version/endian tag) and
+/// the footer index checksum in O(1) of file size; section payloads are
+/// only touched when asked for. `section()` hands out a string_view
+/// directly into the mapping — no per-section heap buffer — and
+/// checksum-verifies the payload *before* returning it, so a truncated
+/// or bit-flipped section is a typed SnapshotError at the call site and
+/// corrupt bytes are never visible through a view. Decoding through
+/// views (`dataset()`) is byte-equivalent to read_snapshot() on the
+/// same file; it is what `bblab cat`, cache loads, and the serve
+/// daemon's dataset LRU run on.
+///
+/// Move-only; the mapping (and every view into it) lives as long as the
+/// SnapshotView. Thread-safe for concurrent reads: all state is
+/// immutable after construction.
+class SnapshotView {
+ public:
+  /// mmap `path` and verify its framing. Throws IoError when the file
+  /// cannot be opened/mapped, SnapshotError when it is not a healthy
+  /// snapshot.
+  [[nodiscard]] static SnapshotView open(const std::filesystem::path& path);
+
+  /// Wrap an already-mapped file (verifies framing + footer index).
+  explicit SnapshotView(MappedFile file);
+
+  SnapshotView(SnapshotView&&) = default;
+  SnapshotView& operator=(SnapshotView&&) = default;
+
+  [[nodiscard]] const SnapshotInfo& info() const { return info_; }
+
+  /// Checksum-verified zero-copy payload of one section. Throws
+  /// SnapshotError (kFormatMismatch if absent, kChecksumMismatch if
+  /// damaged). The view is valid for the life of this SnapshotView.
+  [[nodiscard]] std::string_view section(const std::string& name) const;
+
+  /// Decode only the `config` section (cheap: a few hundred bytes) —
+  /// enough to fingerprint the snapshot without materializing tables.
+  [[nodiscard]] dataset::StudyConfig config() const;
+
+  /// Decode the full dataset from section views. Identical output to
+  /// read_snapshot() on the same bytes, with zero intermediate buffers.
+  [[nodiscard]] dataset::StudyDataset dataset(
+      const market::World& world = market::World::builtin()) const;
+
+ private:
+  MappedFile file_;
+  SnapshotInfo info_;
+};
 
 /// Order-sensitive bit-level content hash of a dataset: every field is
 /// hashed by exact bit pattern (NaNs and -0.0 preserved, unlike

@@ -100,6 +100,11 @@ std::optional<dataset::StudyDataset> ArtifactCache::load(
   try {
     auto ds = read_snapshot_file(path, world);
     hits.add();
+    // Bump the entry's mtime so `cache ls --by-age` and trim() see it as
+    // recently used. Best-effort: a read-only cache still serves hits.
+    std::error_code touch_ec;
+    std::filesystem::last_write_time(
+        path, std::filesystem::file_time_type::clock::now(), touch_ec);
     return ds;
   } catch (const std::exception& e) {
     // A damaged entry must never fail the run — evict it and resimulate.
@@ -147,7 +152,10 @@ std::vector<CacheEntry> ArtifactCache::list() const {
       if (!key) continue;
       std::error_code size_ec;
       const auto size = std::filesystem::file_size(file.path(), size_ec);
-      entries.push_back({*key, file.path(), size_ec ? 0 : size});
+      std::error_code time_ec;
+      const auto atime = std::filesystem::last_write_time(file.path(), time_ec);
+      entries.push_back({*key, file.path(), size_ec ? 0 : size,
+                         time_ec ? std::filesystem::file_time_type{} : atime});
     }
   }
   std::sort(entries.begin(), entries.end(),
@@ -165,6 +173,36 @@ std::size_t ArtifactCache::clear() const {
   for (const auto& entry : list()) {
     std::error_code ec;
     if (std::filesystem::remove(entry.path, ec) && !ec) ++removed;
+  }
+  return removed;
+}
+
+std::size_t ArtifactCache::trim(std::uintmax_t max_bytes) const {
+  auto entries = list();
+  std::uintmax_t total = 0;
+  for (const auto& e : entries) total += e.size_bytes;
+  if (total <= max_bytes) return 0;
+  // Oldest access first; key order breaks ties so the victim sequence
+  // is deterministic when mtimes collide (coarse filesystems).
+  std::sort(entries.begin(), entries.end(),
+            [](const CacheEntry& a, const CacheEntry& b) {
+              if (a.last_access != b.last_access) {
+                return a.last_access < b.last_access;
+              }
+              return a.key < b.key;
+            });
+  static obs::Counter& trimmed =
+      obs::Registry::instance().counter("cache.trim_evictions");
+  std::size_t removed = 0;
+  for (const auto& e : entries) {
+    if (total <= max_bytes) break;
+    std::error_code ec;
+    if (std::filesystem::remove(e.path, ec) && !ec) {
+      total -= e.size_bytes;
+      ++removed;
+      trimmed.add();
+      log_info("cache: trimmed ", e.path.string());
+    }
   }
   return removed;
 }

@@ -30,6 +30,10 @@ struct CacheEntry {
   Fingerprint key;
   std::filesystem::path path;
   std::uintmax_t size_bytes{0};
+  /// Last time the entry was stored or served a hit. Tracked as the
+  /// entry file's mtime (load() bumps it on every hit), so it survives
+  /// across processes with no sidecar metadata to desynchronize.
+  std::filesystem::file_time_type last_access{};
 };
 
 class ArtifactCache {
@@ -68,6 +72,12 @@ class ArtifactCache {
 
   /// Remove every entry; returns how many were removed.
   std::size_t clear() const;
+
+  /// Evict least-recently-accessed entries until the cache's total size
+  /// is at most `max_bytes`. Returns how many entries were removed.
+  /// Best-effort under concurrency: an entry that disappears mid-trim is
+  /// simply not counted.
+  std::size_t trim(std::uintmax_t max_bytes) const;
 
   /// Remove `*.tmp` residue under objects/ left by writers that died
   /// before their atomic rename, if older than $BBLAB_CACHE_TMP_TTL_S

@@ -1,0 +1,129 @@
+// LRU semantics of the artifact cache: hits refresh last-access, and
+// `trim` evicts oldest-accessed entries first until under budget.
+#include "store/cache.h"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <chrono>
+#include <filesystem>
+#include <string>
+
+#include "dataset/generator.h"
+#include "store/fingerprint.h"
+
+namespace bblab::store {
+namespace {
+
+dataset::StudyDataset tiny_dataset(std::uint64_t seed) {
+  dataset::StudyConfig config;
+  config.seed = seed;
+  config.population_scale = 0.005;
+  config.window_days = 0.1;
+  config.fcc_users = 10;
+  config.last_year = config.first_year;
+  return dataset::StudyGenerator{market::World::builtin(), config}.generate();
+}
+
+class CacheLruTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = std::filesystem::path{::testing::TempDir()} /
+            ("cache_lru_" + std::to_string(::getpid()));
+    std::filesystem::remove_all(root_);
+  }
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(root_, ec);
+  }
+
+  /// Store a dataset generated from `seed`; returns its fingerprint.
+  Fingerprint put(const ArtifactCache& cache, std::uint64_t seed) {
+    const auto ds = tiny_dataset(seed);
+    const auto key = dataset_fingerprint(ds.config, market::World::builtin());
+    cache.store(key, ds);
+    return key;
+  }
+
+  /// Backdate an entry's mtime so access ordering is unambiguous without
+  /// sleeping through filesystem timestamp granularity.
+  static void age(const ArtifactCache& cache, const Fingerprint& key,
+                  std::chrono::seconds by) {
+    const auto path = cache.entry_path(key);
+    std::filesystem::last_write_time(
+        path, std::filesystem::last_write_time(path) - by);
+  }
+
+  std::filesystem::path root_;
+};
+
+TEST_F(CacheLruTest, LoadBumpsLastAccess) {
+  const ArtifactCache cache{root_};
+  const auto key = put(cache, 1);
+  age(cache, key, std::chrono::seconds{3600});
+  const auto before = std::filesystem::last_write_time(cache.entry_path(key));
+
+  ASSERT_TRUE(cache.load(key).has_value());
+  const auto after = std::filesystem::last_write_time(cache.entry_path(key));
+  EXPECT_GT(after, before);
+
+  // list() reports the refreshed access time.
+  const auto entries = cache.list();
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].last_access, after);
+}
+
+TEST_F(CacheLruTest, TrimEvictsOldestAccessFirst) {
+  const ArtifactCache cache{root_};
+  const auto a = put(cache, 1);
+  const auto b = put(cache, 2);
+  const auto c = put(cache, 3);
+  // Access order (oldest → newest): b, c, a.
+  age(cache, b, std::chrono::seconds{300});
+  age(cache, c, std::chrono::seconds{200});
+  age(cache, a, std::chrono::seconds{100});
+
+  const auto size_of = [&](const Fingerprint& k) {
+    return std::filesystem::file_size(cache.entry_path(k));
+  };
+  // Budget for exactly the two most recently accessed entries.
+  const auto budget = size_of(a) + size_of(c);
+  EXPECT_EQ(cache.trim(budget), 1u);
+  EXPECT_FALSE(std::filesystem::exists(cache.entry_path(b)));
+  EXPECT_TRUE(std::filesystem::exists(cache.entry_path(a)));
+  EXPECT_TRUE(std::filesystem::exists(cache.entry_path(c)));
+}
+
+TEST_F(CacheLruTest, HitProtectsEntryFromTrim) {
+  const ArtifactCache cache{root_};
+  const auto a = put(cache, 1);
+  const auto b = put(cache, 2);
+  age(cache, a, std::chrono::seconds{300});
+  age(cache, b, std::chrono::seconds{200});
+  // `a` is oldest — but a hit refreshes it, so trim takes `b` instead.
+  ASSERT_TRUE(cache.load(a).has_value());
+
+  const auto budget = std::filesystem::file_size(cache.entry_path(a));
+  EXPECT_EQ(cache.trim(budget), 1u);
+  EXPECT_TRUE(std::filesystem::exists(cache.entry_path(a)));
+  EXPECT_FALSE(std::filesystem::exists(cache.entry_path(b)));
+}
+
+TEST_F(CacheLruTest, TrimWithinBudgetIsANoOp) {
+  const ArtifactCache cache{root_};
+  (void)put(cache, 1);
+  EXPECT_EQ(cache.trim(std::numeric_limits<std::uintmax_t>::max()), 0u);
+  EXPECT_EQ(cache.list().size(), 1u);
+}
+
+TEST_F(CacheLruTest, TrimToZeroEmptiesTheCache) {
+  const ArtifactCache cache{root_};
+  (void)put(cache, 1);
+  (void)put(cache, 2);
+  EXPECT_EQ(cache.trim(0), 2u);
+  EXPECT_TRUE(cache.list().empty());
+}
+
+}  // namespace
+}  // namespace bblab::store

@@ -1,0 +1,147 @@
+#include "serve/dataset_lru.h"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <thread>
+#include <vector>
+
+#include "dataset/generator.h"
+#include "store/bbs.h"
+
+namespace bblab::serve {
+namespace {
+
+dataset::StudyDataset tiny_dataset(std::uint64_t seed) {
+  dataset::StudyConfig config;
+  config.seed = seed;
+  config.population_scale = 0.005;
+  config.window_days = 0.1;
+  config.fcc_users = 10;
+  config.last_year = config.first_year;
+  return dataset::StudyGenerator{market::World::builtin(), config}.generate();
+}
+
+class DatasetLruTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::path{::testing::TempDir()} /
+           ("serve_lru_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+
+  std::filesystem::path snapshot(std::uint64_t seed, const std::string& name) {
+    const auto path = dir_ / name;
+    store::write_snapshot_file(path, tiny_dataset(seed));
+    return path;
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(DatasetLruTest, HitsShareOneDecode) {
+  DatasetLru lru{1ull << 30};
+  const auto path = snapshot(1, "a.bbs");
+  const auto first = lru.get(path);
+  const auto second = lru.get(path);
+  EXPECT_EQ(first.get(), second.get());  // literally the same object
+  const auto stats = lru.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+}
+
+TEST_F(DatasetLruTest, TwoFilesOfSameSimulationShareOneEntry) {
+  DatasetLru lru{1ull << 30};
+  // Same config, two paths: the fingerprint keying makes them one entry.
+  const auto a = snapshot(7, "a.bbs");
+  const auto b = snapshot(7, "b.bbs");
+  const auto da = lru.get(a);
+  const auto db = lru.get(b);
+  EXPECT_EQ(da.get(), db.get());
+  EXPECT_EQ(lru.stats().entries, 1u);
+  EXPECT_EQ(lru.stats().hits, 1u);
+}
+
+TEST_F(DatasetLruTest, EvictsLeastRecentlyUsedWithinBudget) {
+  const auto a = snapshot(1, "a.bbs");
+  const auto b = snapshot(2, "b.bbs");
+  const auto size_a = std::filesystem::file_size(a);
+  const auto size_b = std::filesystem::file_size(b);
+  // Budget fits either snapshot alone but not both.
+  DatasetLru lru{size_a + size_b - 1};
+  (void)lru.get(a);
+  const auto held = lru.get(b);  // evicts a
+  auto stats = lru.stats();
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_LE(stats.open_bytes, size_a + size_b - 1);
+  // The evicted dataset reloads on demand (a fresh miss, not an error) —
+  // and the held shared_ptr stayed valid throughout.
+  (void)lru.get(a);
+  EXPECT_EQ(lru.stats().misses, 3u);
+  EXPECT_FALSE(held->dasu.empty());
+}
+
+TEST_F(DatasetLruTest, ZeroBudgetStillServes) {
+  DatasetLru lru{0};
+  const auto path = snapshot(3, "a.bbs");
+  EXPECT_FALSE(lru.get(path)->dasu.empty());
+  EXPECT_EQ(lru.stats().entries, 0u);  // nothing cached
+  EXPECT_FALSE(lru.get(path)->dasu.empty());
+  EXPECT_EQ(lru.stats().misses, 2u);
+}
+
+TEST_F(DatasetLruTest, CorruptSnapshotIsTypedAndNeverCached) {
+  DatasetLru lru{1ull << 30};
+  const auto path = snapshot(4, "a.bbs");
+  // Flip one payload byte on disk.
+  {
+    std::fstream f{path, std::ios::in | std::ios::out | std::ios::binary};
+    f.seekp(200);
+    char c{};
+    f.seekg(200);
+    f.read(&c, 1);
+    f.seekp(200);
+    c = static_cast<char>(c ^ 0x01);
+    f.write(&c, 1);
+  }
+  EXPECT_THROW((void)lru.get(path), store::SnapshotError);
+  EXPECT_EQ(lru.stats().entries, 0u);  // the failure was not cached
+  // Restore a healthy file at the same path: the next get retries fresh.
+  store::write_snapshot_file(path, tiny_dataset(4));
+  EXPECT_FALSE(lru.get(path)->dasu.empty());
+}
+
+TEST_F(DatasetLruTest, MissingFileIsIoError) {
+  DatasetLru lru{1ull << 30};
+  EXPECT_THROW((void)lru.get(dir_ / "nope.bbs"), std::exception);
+}
+
+TEST_F(DatasetLruTest, ConcurrentGetsAreSingleFlight) {
+  DatasetLru lru{1ull << 30};
+  const auto path = snapshot(5, "a.bbs");
+  std::vector<std::thread> threads;
+  std::vector<std::shared_ptr<const dataset::StudyDataset>> results{8};
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    threads.emplace_back([&, i] { results[i] = lru.get(path); });
+  }
+  for (auto& t : threads) t.join();
+  for (const auto& r : results) {
+    ASSERT_NE(r, nullptr);
+    EXPECT_EQ(r.get(), results[0].get());
+  }
+  // One decode total, everyone else shared it.
+  EXPECT_EQ(lru.stats().misses, 1u);
+  EXPECT_EQ(lru.stats().hits, results.size() - 1);
+}
+
+}  // namespace
+}  // namespace bblab::serve

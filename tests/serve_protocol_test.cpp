@@ -1,0 +1,102 @@
+#include "serve/protocol.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace bblab::serve {
+namespace {
+
+TEST(Protocol, RequestRoundTrips) {
+  const Request request{RequestKind::kFigure, "fig1", "/tmp/snap.bbs"};
+  const std::string frame = encode_request(request);
+  // Frame = u32 length prefix + payload.
+  ASSERT_GT(frame.size(), 4u);
+  const auto back = decode_request(std::string_view{frame}.substr(4));
+  EXPECT_EQ(back.kind, RequestKind::kFigure);
+  EXPECT_EQ(back.name, "fig1");
+  EXPECT_EQ(back.snapshot, "/tmp/snap.bbs");
+}
+
+TEST(Protocol, ResponseRoundTrips) {
+  const Response response{Status::kDeadlineExceeded, "too slow"};
+  const std::string frame = encode_response(response);
+  const auto back = decode_response(std::string_view{frame}.substr(4));
+  EXPECT_EQ(back.status, Status::kDeadlineExceeded);
+  EXPECT_EQ(back.body, "too slow");
+}
+
+TEST(Protocol, EmptyFieldsRoundTrip) {
+  const std::string frame = encode_request(Request{RequestKind::kPing, "", ""});
+  const auto back = decode_request(std::string_view{frame}.substr(4));
+  EXPECT_EQ(back.kind, RequestKind::kPing);
+  EXPECT_TRUE(back.name.empty());
+  EXPECT_TRUE(back.snapshot.empty());
+}
+
+TEST(Protocol, MalformedPayloadsAreTypedErrors) {
+  // Wrong magic.
+  EXPECT_THROW((void)decode_request(std::string(4, '\0')), ProtocolError);
+  // Truncated at every prefix of a valid payload.
+  const std::string frame =
+      encode_request(Request{RequestKind::kExperiment, "tab5", "x.bbs"});
+  const std::string_view payload = std::string_view{frame}.substr(4);
+  for (std::size_t keep = 0; keep < payload.size(); ++keep) {
+    EXPECT_THROW((void)decode_request(payload.substr(0, keep)), ProtocolError)
+        << "kept " << keep;
+  }
+  // Trailing garbage after a valid payload.
+  EXPECT_THROW((void)decode_request(std::string{payload} + "x"), ProtocolError);
+  // Unknown kind byte.
+  std::string bad{payload};
+  bad[8] = 99;
+  EXPECT_THROW((void)decode_request(bad), ProtocolError);
+  // A string length pointing past the end.
+  std::string overlong{payload};
+  overlong[9] = '\xff';
+  overlong[10] = '\xff';
+  EXPECT_THROW((void)decode_request(overlong), ProtocolError);
+}
+
+TEST(Protocol, AssemblerReassemblesSplitFrames) {
+  const std::string a = encode_request(Request{RequestKind::kPing, "", ""});
+  const std::string b =
+      encode_request(Request{RequestKind::kFigure, "fig2", "s.bbs"});
+  const std::string stream = a + b;
+
+  // Feed one byte at a time: framing must not depend on read boundaries.
+  FrameAssembler assembler{kMaxRequestBytes};
+  std::size_t complete = 0;
+  for (const char c : stream) {
+    assembler.feed(&c, 1);
+    while (auto payload = assembler.next()) {
+      const auto request = decode_request(*payload);
+      if (complete == 0) {
+        EXPECT_EQ(request.kind, RequestKind::kPing);
+      }
+      if (complete == 1) {
+        EXPECT_EQ(request.name, "fig2");
+      }
+      ++complete;
+    }
+  }
+  EXPECT_EQ(complete, 2u);
+  EXPECT_EQ(assembler.pending_bytes(), 0u);
+}
+
+TEST(Protocol, OversizedFrameIsRejectedBeforeBuffering) {
+  FrameAssembler assembler{1024};
+  // Declared length 1 MiB against a 1 KiB limit: must throw on the
+  // 4-byte prefix alone, before any payload arrives.
+  const char prefix[4] = {0x00, 0x00, 0x10, 0x00};
+  EXPECT_THROW(assembler.feed(prefix, sizeof prefix), ProtocolError);
+}
+
+TEST(Protocol, StatusLabelsAreStable) {
+  EXPECT_STREQ(status_label(Status::kOk), "ok");
+  EXPECT_STREQ(status_label(Status::kDeadlineExceeded), "deadline-exceeded");
+  EXPECT_STREQ(status_label(Status::kShuttingDown), "shutting-down");
+}
+
+}  // namespace
+}  // namespace bblab::serve

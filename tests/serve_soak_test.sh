@@ -1,0 +1,120 @@
+#!/usr/bin/env bash
+# Soak acceptance for `bblab serve`: one daemon, many concurrent clients
+# issuing mixed figure/experiment queries, every response byte-identical
+# (by md5) to the single-process CLI oracle. Finishes with a graceful
+# SIGTERM drain: exit 0 and the socket unlinked.
+#
+# Scorecards are deliberately NOT oracle-compared: their obs.* self-check
+# rows read the live process's metrics registry, which legitimately
+# differs between the daemon and a fresh CLI run (see DESIGN.md).
+set -u
+
+BBLAB=$1
+WORK=$(mktemp -d)
+SOCK="$WORK/bb.sock"
+ARGS="--seed 11 --scale 0.02 --days 0.3"
+fails=0
+
+fail() {
+  echo "FAIL: $*"
+  fails=1
+}
+
+cleanup() {
+  [ -n "${SERVE_PID:-}" ] && kill -9 "$SERVE_PID" 2>/dev/null
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+FIGURES="fig1 fig2 fig6 fig10"
+EXPERIMENTS="tab1 tab2 tab3 tab5 tab6 tab7 tab8"
+
+# --- snapshot + single-process oracles --------------------------------------
+"$BBLAB" pack "$WORK/snap.bbs" $ARGS >/dev/null 2>&1 \
+  || { fail "pack exited non-zero"; exit 1; }
+for f in $FIGURES; do
+  "$BBLAB" figure "$f" $ARGS >"$WORK/oracle.$f" 2>/dev/null \
+    || fail "oracle figure $f exited non-zero"
+done
+for t in $EXPERIMENTS; do
+  "$BBLAB" experiment "$t" $ARGS >"$WORK/oracle.$t" 2>/dev/null \
+    || fail "oracle experiment $t exited non-zero"
+done
+
+# --- boot the daemon --------------------------------------------------------
+"$BBLAB" serve --socket "$SOCK" --threads 4 2>"$WORK/serve.log" &
+SERVE_PID=$!
+for _ in $(seq 1 100); do
+  [ -S "$SOCK" ] && break
+  sleep 0.1
+done
+[ -S "$SOCK" ] || { fail "daemon never bound $SOCK"; cat "$WORK/serve.log"; exit 1; }
+"$BBLAB" query ping --socket "$SOCK" >/dev/null 2>&1 \
+  || fail "daemon not answering ping"
+
+# --- soak: N concurrent clients, mixed queries ------------------------------
+CLIENTS=6
+ROUNDS=3
+client() {
+  # Each client walks a different rotation through the query mix so the
+  # daemon sees figures and experiments interleaved across connections.
+  local id=$1 out rc=0
+  local names=($FIGURES $EXPERIMENTS)
+  local n=${#names[@]}
+  for round in $(seq 1 $ROUNDS); do
+    for ((k = 0; k < n; ++k)); do
+      local name=${names[$(((id + round + k) % n))]}
+      local kind=figure
+      case "$name" in tab*) kind=experiment ;; esac
+      out="$WORK/c$id.r$round.$name"
+      "$BBLAB" query "$kind" "$name" --socket "$SOCK" \
+          --snapshot "$WORK/snap.bbs" >"$out" 2>"$out.err" || rc=1
+      cmp -s "$out" "$WORK/oracle.$name" || {
+        echo "client $id: $name differs from oracle (round $round)" \
+          >>"$WORK/diffs"
+        rc=1
+      }
+    done
+  done
+  return $rc
+}
+
+pids=()
+for c in $(seq 1 $CLIENTS); do
+  client "$c" &
+  pids+=($!)
+done
+for p in "${pids[@]}"; do
+  wait "$p" || fails=1
+done
+[ -f "$WORK/diffs" ] && { fail "responses diverged from oracle"; cat "$WORK/diffs"; }
+echo "soak: $CLIENTS clients x $ROUNDS rounds x $((4 + 7)) queries, all md5-identical to CLI"
+
+# --- typed error paths stay typed under load --------------------------------
+"$BBLAB" query figure nope --socket "$SOCK" --snapshot "$WORK/snap.bbs" \
+    >/dev/null 2>"$WORK/nf.err"
+[ $? -eq 1 ] || fail "unknown figure should exit 1"
+grep -q "not-found" "$WORK/nf.err" || fail "unknown figure not typed not-found"
+
+# --- graceful drain ---------------------------------------------------------
+kill -TERM "$SERVE_PID"
+drain_rc=1
+for _ in $(seq 1 100); do
+  if ! kill -0 "$SERVE_PID" 2>/dev/null; then
+    wait "$SERVE_PID"
+    drain_rc=$?
+    break
+  fi
+  sleep 0.1
+done
+[ "$drain_rc" -eq 0 ] || fail "daemon exit code $drain_rc after SIGTERM (want 0)"
+[ ! -e "$SOCK" ] || fail "socket not unlinked after drain"
+grep -q "drained after" "$WORK/serve.log" || fail "drain message missing"
+SERVE_PID=
+
+if [ "$fails" -ne 0 ]; then
+  echo "serve_soak_test: FAILED"
+  [ -s "$WORK/serve.log" ] && tail -20 "$WORK/serve.log"
+  exit 1
+fi
+echo "serve_soak_test: OK"

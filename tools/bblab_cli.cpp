@@ -32,6 +32,8 @@
 //
 // Exit codes: 0 success, 1 error, 2 usage, 4 completed degraded (one or
 // more shards quarantined; dataset is partial), 64 injected crash.
+#include <algorithm>
+#include <chrono>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
@@ -42,12 +44,11 @@
 #include <string>
 #include <vector>
 
-#include "analysis/figures.h"
+#include "analysis/render.h"
 #include "analysis/report.h"
-#include "analysis/scorecard.h"
-#include "analysis/tables.h"
 #include "core/fs.h"
 #include "core/logging.h"
+#include "core/signal.h"
 #include "dataset/csv.h"
 #include "dataset/generator.h"
 #include "faults/fault_plan.h"
@@ -55,6 +56,9 @@
 #include "market/catalog.h"
 #include "obs/report.h"
 #include "obs/span.h"
+#include "serve/client.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
 #include "store/bbs.h"
 #include "store/cache.h"
 #include "store/checkpoint.h"
@@ -84,6 +88,11 @@ struct CliOptions {
   std::string log_level;   ///< empty = $BBLAB_LOG_LEVEL or "warn"
   std::string metrics_out; ///< run-report JSON path; empty = off
   std::string trace_out;   ///< Chrome trace JSON path; empty = tracing off
+  std::string socket;      ///< unix socket path for serve/query
+  std::string snapshot;    ///< .bbs path a query runs against
+  std::uint64_t max_open_bytes{2ull << 30};  ///< serve dataset LRU budget
+  std::optional<std::uint64_t> max_cache_bytes;  ///< cache trim target
+  bool by_age{false};      ///< cache ls: oldest-accessed first
   std::vector<std::string> positional;
 };
 
@@ -107,7 +116,10 @@ int usage() {
          "  scorecard [--markdown]       run every paper-claim check\n"
          "  pack <out.bbs>               synthesize a dataset to a binary snapshot\n"
          "  cat <file.bbs>               inspect and verify a binary snapshot\n"
-         "  cache <ls|rm KEY...|rm all>  manage the simulation artifact cache\n"
+         "  cache <ls [--by-age]|rm KEY...|rm all|trim --max-cache-bytes N>\n"
+         "  serve --socket PATH [--threads N] [--max-open-bytes N] [--deadline X]\n"
+         "  query <ping|info|figure F|experiment T|scorecard> --socket PATH\n"
+         "        [--snapshot FILE.bbs] [--markdown]\n"
          "common: --seed N --scale X --days X --threads N --placebo\n"
          "        --faults SPEC (e.g. \"churn=0.2,corrupt=0.05\") --qc-report\n"
          "        --cache --cache-dir DIR\n"
@@ -199,6 +211,24 @@ bool parse(int argc, char** argv, CliOptions& options) {
       const char* v = next();
       if (v == nullptr) return false;
       options.trace_out = v;
+    } else if (arg == "--socket") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options.socket = v;
+    } else if (arg == "--snapshot") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options.snapshot = v;
+    } else if (arg == "--max-open-bytes") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options.max_open_bytes = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--max-cache-bytes") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options.max_cache_bytes = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--by-age") {
+      options.by_age = true;
     } else if (arg == "--qc-report") {
       options.qc_report = true;
     } else if (arg == "--placebo") {
@@ -399,92 +429,28 @@ int cmd_ingest(const CliOptions& options) {
   return 0;
 }
 
+bool known_name(const std::vector<std::string>& names, const std::string& name) {
+  return std::find(names.begin(), names.end(), name) != names.end();
+}
+
 int cmd_experiment(const CliOptions& options) {
   if (options.positional.empty()) return usage();
   const std::string which = options.positional.front();
   // Validate the name before paying for dataset generation.
-  if (which != "tab1" && which != "tab2" && which != "tab3" && which != "tab5" &&
-      which != "tab6" && which != "tab7" && which != "tab8") {
-    return usage();
-  }
+  if (!known_name(analysis::experiment_names(), which)) return usage();
   const auto result = make_dataset(options);
-  const auto& ds = result.ds;
   const obs::ScopedPhase phase{"analysis"};
-  auto& out = std::cout;
-
-  if (which == "tab1") {
-    const auto tab = analysis::tab1_upgrade_experiment(ds);
-    analysis::print_experiment(out, tab.average);
-    analysis::print_experiment(out, tab.peak);
-  } else if (which == "tab2") {
-    const auto tab = analysis::tab2_capacity_matching(ds);
-    for (const auto& row : tab.dasu) analysis::print_experiment(out, row.result);
-    for (const auto& row : tab.fcc) analysis::print_experiment(out, row.result);
-  } else if (which == "tab3") {
-    const auto tab = analysis::tab3_price_experiment(ds);
-    analysis::print_experiment(out, tab.mid);
-    analysis::print_experiment(out, tab.high);
-  } else if (which == "tab5") {
-    for (const auto& row : analysis::tab5_region_costs(ds)) {
-      std::printf("%-28s n=%zu  >$1 %5.1f%%  >$5 %5.1f%%  >$10 %5.1f%%\n",
-                  market::region_label(row.region).c_str(), row.countries,
-                  row.pct_above_1, row.pct_above_5, row.pct_above_10);
-    }
-  } else if (which == "tab6") {
-    const auto tab = analysis::tab6_upgrade_cost_experiment(ds);
-    analysis::print_experiment(out, tab.with_bt_mid);
-    analysis::print_experiment(out, tab.with_bt_high);
-    analysis::print_experiment(out, tab.no_bt_mid);
-    analysis::print_experiment(out, tab.no_bt_high);
-  } else if (which == "tab7") {
-    const auto tab = analysis::tab7_latency_experiment(ds);
-    for (const auto& row : tab.rows) analysis::print_experiment(out, row.result);
-    analysis::print_experiment(out, tab.us_vs_india);
-  } else if (which == "tab8") {
-    for (const auto& row : analysis::tab8_loss_experiment(ds)) {
-      analysis::print_experiment(out, row.result);
-    }
-  } else {
-    return usage();
-  }
+  if (!analysis::render_experiment(std::cout, which, result.ds)) return usage();
   return exit_code(result, 0);
 }
 
 int cmd_figure(const CliOptions& options) {
   if (options.positional.empty()) return usage();
   const std::string which = options.positional.front();
-  if (which != "fig1" && which != "fig2" && which != "fig6" && which != "fig10") {
-    return usage();
-  }
+  if (!known_name(analysis::figure_names(), which)) return usage();
   const auto result = make_dataset(options);
-  const auto& ds = result.ds;
   const obs::ScopedPhase phase{"analysis"};
-  auto& out = std::cout;
-
-  if (which == "fig1") {
-    const auto fig = analysis::fig1_characteristics(ds);
-    analysis::print_ecdf(out, "capacity [Mbps]", fig.capacity_mbps);
-    analysis::print_ecdf(out, "latency [ms]", fig.latency_ms);
-    analysis::print_ecdf(out, "loss [%]", fig.loss_pct);
-  } else if (which == "fig2") {
-    const auto fig = analysis::fig2_capacity_vs_usage(ds);
-    analysis::print_series(out, "mean w/ BT", fig.mean_bt);
-    analysis::print_series(out, "p95 w/ BT", fig.peak_bt);
-    analysis::print_series(out, "mean no BT", fig.mean_nobt);
-    analysis::print_series(out, "p95 no BT", fig.peak_nobt);
-  } else if (which == "fig6") {
-    const auto fig = analysis::fig6_longitudinal(ds);
-    for (const auto& [year, series] : fig.peak_nobt) {
-      analysis::print_series(out, "p95 no BT " + std::to_string(year), series);
-    }
-  } else if (which == "fig10") {
-    const auto fig = analysis::fig10_upgrade_cost_cdf(ds);
-    analysis::print_ecdf(out, "$/Mbps across markets", fig.upgrade_cost);
-    out << "  r>0.8: " << analysis::pct(fig.share_strong_corr)
-        << ", r>0.4: " << analysis::pct(fig.share_moderate_corr) << "\n";
-  } else {
-    return usage();
-  }
+  if (!analysis::render_figure(std::cout, which, result.ds)) return usage();
   return exit_code(result, 0);
 }
 
@@ -505,12 +471,29 @@ int cmd_pack(const CliOptions& options) {
 int cmd_cat(const CliOptions& options) {
   if (options.positional.empty()) return usage();
   const std::filesystem::path path{options.positional.front()};
-  std::ifstream in{path, std::ios::binary};
-  if (!in) {
+  if (!std::filesystem::exists(path)) {
     std::cerr << "cannot open " << path << "\n";
     return 1;
   }
-  const auto info = store::inspect_snapshot(in);
+  // Zero-copy path: mmap the snapshot and decode straight out of the
+  // mapping — same SnapshotView the serve daemon runs on. Files that
+  // cannot be mapped (FIFOs, exotic filesystems) fall back to streaming.
+  store::SnapshotInfo info;
+  dataset::StudyDataset ds;
+  if (auto mapped = store::MappedFile::try_open(path)) {
+    const store::SnapshotView view{std::move(*mapped)};
+    info = view.info();
+    // Decoding verifies every section checksum before handing out views.
+    ds = view.dataset();
+  } else {
+    std::ifstream in{path, std::ios::binary};
+    if (!in) {
+      std::cerr << "cannot open " << path << "\n";
+      return 1;
+    }
+    info = store::inspect_snapshot(in);
+    ds = store::read_snapshot(in);
+  }
   std::cout << "bbs format v" << info.version << ", " << info.file_size
             << " bytes, " << info.sections.size() << " sections\n";
   std::printf("%-10s %10s %12s  %s\n", "section", "offset", "bytes", "checksum");
@@ -520,8 +503,6 @@ int cmd_cat(const CliOptions& options) {
                 static_cast<unsigned long long>(s.size),
                 static_cast<unsigned long long>(s.checksum));
   }
-  // Full read: verifies every section checksum and decodes the payloads.
-  const auto ds = store::read_snapshot(in);
   std::cout << "records: dasu=" << ds.dasu.size() << " fcc=" << ds.fcc.size()
             << " upgrades=" << ds.upgrades.size()
             << " markets=" << ds.markets.size() << "\n"
@@ -537,13 +518,43 @@ int cmd_cache(const CliOptions& options) {
   const auto cache = open_cache(options);
   const std::string& sub = options.positional.front();
   if (sub == "ls") {
-    const auto entries = cache.list();
-    for (const auto& e : entries) {
-      std::printf("%s  %10llu  %s\n", e.key.hex().c_str(),
-                  static_cast<unsigned long long>(e.size_bytes),
-                  e.path.string().c_str());
+    auto entries = cache.list();
+    if (options.by_age) {
+      // Oldest access first — the order trim evicts in — with the age
+      // made visible so an operator can sanity-check a trim before
+      // running it.
+      std::sort(entries.begin(), entries.end(),
+                [](const store::CacheEntry& a, const store::CacheEntry& b) {
+                  if (a.last_access != b.last_access) {
+                    return a.last_access < b.last_access;
+                  }
+                  return a.key < b.key;
+                });
+      const auto now = std::filesystem::file_time_type::clock::now();
+      for (const auto& e : entries) {
+        const double age_s =
+            std::chrono::duration<double>{now - e.last_access}.count();
+        std::printf("%s  %10llu  %8.0fs  %s\n", e.key.hex().c_str(),
+                    static_cast<unsigned long long>(e.size_bytes), age_s,
+                    e.path.string().c_str());
+      }
+    } else {
+      for (const auto& e : entries) {
+        std::printf("%s  %10llu  %s\n", e.key.hex().c_str(),
+                    static_cast<unsigned long long>(e.size_bytes),
+                    e.path.string().c_str());
+      }
     }
     std::cout << entries.size() << " entries in " << cache.root() << "\n";
+    return 0;
+  }
+  if (sub == "trim") {
+    if (!options.max_cache_bytes) {
+      std::cerr << "cache trim requires --max-cache-bytes N\n";
+      return usage();
+    }
+    const auto removed = cache.trim(*options.max_cache_bytes);
+    std::cout << "trimmed " << removed << " entries\n";
     return 0;
   }
   if (sub == "rm") {
@@ -569,6 +580,58 @@ int cmd_cache(const CliOptions& options) {
     return 0;
   }
   return usage();
+}
+
+int cmd_serve(const CliOptions& options) {
+  if (options.socket.empty()) {
+    std::cerr << "serve requires --socket PATH\n";
+    return usage();
+  }
+  serve::ServerOptions sopts;
+  sopts.socket = options.socket;
+  sopts.threads = options.threads;
+  sopts.max_open_bytes = options.max_open_bytes;
+  sopts.deadline_s = options.deadline_s;  // --deadline: per-query budget
+  serve::Server server{std::move(sopts)};
+  server.run();
+  std::cerr << "serve: drained after " << server.requests_served()
+            << " requests\n";
+  return 0;
+}
+
+int cmd_query(const CliOptions& options) {
+  if (options.socket.empty() || options.positional.empty()) return usage();
+  const std::string& what = options.positional.front();
+  serve::Request request;
+  if (what == "ping") {
+    request.kind = serve::RequestKind::kPing;
+  } else if (what == "info") {
+    request.kind = serve::RequestKind::kInfo;
+  } else if (what == "figure" || what == "experiment") {
+    if (options.positional.size() < 2) return usage();
+    request.kind = what == "figure" ? serve::RequestKind::kFigure
+                                    : serve::RequestKind::kExperiment;
+    request.name = options.positional[1];
+  } else if (what == "scorecard") {
+    request.kind = serve::RequestKind::kScorecard;
+    if (options.markdown) request.name = "markdown";
+  } else {
+    return usage();
+  }
+  request.snapshot = options.snapshot;
+  serve::Client client{options.socket};
+  // --deadline doubles as the client-side response timeout (the server
+  // enforces its own per-query deadline independently).
+  const int timeout_ms =
+      options.deadline_s > 0 ? static_cast<int>(options.deadline_s * 1000.0) : -1;
+  const auto response = client.call(request, timeout_ms);
+  if (response.status == serve::Status::kOk) {
+    std::cout << response.body;
+    return 0;
+  }
+  std::cerr << "query " << serve::status_label(response.status) << ": "
+            << response.body << "\n";
+  return 1;
 }
 
 /// Write the observability outputs (--metrics-out / --trace-out) and the
@@ -670,16 +733,14 @@ int main(int argc, char** argv) {
     if (command == "pack") return cmd_pack(options);
     if (command == "cat") return cmd_cat(options);
     if (command == "cache") return cmd_cache(options);
+    if (command == "serve") return cmd_serve(options);
+    if (command == "query") return cmd_query(options);
     if (command == "scorecard") {
       const auto result = make_dataset(options);
       const obs::ScopedPhase phase{"analysis"};
-      const auto card = analysis::run_scorecard(result.ds);
-      if (options.markdown) {
-        std::cout << card.to_markdown();
-      } else {
-        card.print(std::cout);
-      }
-      return exit_code(result, card.pass_rate() >= 0.7 ? 0 : 1);
+      const double pass_rate =
+          analysis::render_scorecard(std::cout, result.ds, options.markdown);
+      return exit_code(result, pass_rate >= 0.7 ? 0 : 1);
     }
     return usage();
   };

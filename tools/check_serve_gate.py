@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Gate the serve-daemon bench report (BENCH_serve.json).
+
+Reads the JSON written by `bench/perf_serve --out BENCH_serve.json` and
+fails (exit 1) unless every `serve_mixed/threads:N` configuration:
+
+  * sustained at least --min-qps mixed queries/sec,
+  * dropped zero responses (non-ok statuses or transport failures),
+  * returned zero oracle mismatches (bytes differ from direct render),
+  * kept p99 latency at or under --max-p99-ms.
+
+Usage:
+  check_serve_gate.py BENCH_serve.json [--min-qps 1000] [--max-p99-ms 250]
+"""
+
+import argparse
+import json
+import sys
+
+
+def main(argv):
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("report", help="perf_serve JSON report file")
+    ap.add_argument("--min-qps", type=float, default=1000.0)
+    ap.add_argument("--max-p99-ms", type=float, default=250.0)
+    args = ap.parse_args(argv)
+
+    try:
+        with open(args.report, encoding="utf-8") as f:
+            report = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"check_serve_gate: cannot read {args.report}: {e}",
+              file=sys.stderr)
+        return 1
+
+    if report.get("schema") != "bblab-serve-bench":
+        print(f"check_serve_gate: {args.report} is not a bblab-serve-bench "
+              "report", file=sys.stderr)
+        return 1
+
+    benches = report.get("benchmarks", [])
+    if not benches:
+        print(f"check_serve_gate: no benchmarks in {args.report}",
+              file=sys.stderr)
+        return 1
+
+    failed = False
+    for bench in benches:
+        name = bench.get("name", "?")
+        problems = []
+        if float(bench.get("qps", 0)) < args.min_qps:
+            problems.append(f"qps {bench.get('qps'):.0f} < {args.min_qps:.0f}")
+        if int(bench.get("dropped", 1)) != 0:
+            problems.append(f"dropped {bench.get('dropped')} != 0")
+        if int(bench.get("mismatches", 1)) != 0:
+            problems.append(f"mismatches {bench.get('mismatches')} != 0")
+        if float(bench.get("p99_ms", float("inf"))) > args.max_p99_ms:
+            problems.append(
+                f"p99 {bench.get('p99_ms'):.2f}ms > {args.max_p99_ms:.0f}ms")
+        if problems:
+            print(f"FAIL: {name}: " + "; ".join(problems))
+            failed = True
+        else:
+            print(f"ok: {name}: qps={bench.get('qps'):.0f} "
+                  f"p50={bench.get('p50_ms'):.2f}ms "
+                  f"p99={bench.get('p99_ms'):.2f}ms dropped=0 mismatches=0")
+
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
